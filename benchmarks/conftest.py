@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artefacts (a figure, a
+theorem's quantitative content, or an application scenario) and prints the
+corresponding text table; run with ``pytest benchmarks/ --benchmark-only -s``
+to see the tables, or without ``-s`` to only collect the timings.  The
+printed tables are the source of the numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, text: str) -> None:
+    """Print a benchmark's result table with a recognisable banner."""
+    banner = "=" * len(title)
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def report():
+    """The ``emit`` helper as a fixture (keeps benchmark signatures tidy)."""
+    return emit

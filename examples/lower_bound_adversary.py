@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""The Section 4 adversary: why no local algorithm beats ~Δ_I^V/2.
+
+Theorem 1 shows that no local algorithm -- whatever its constant horizon --
+can approximate the max-min LP within less than
+``Δ_I^V/2 + 1/2 − 1/(2Δ_K^V − 2)``.  The proof is constructive, and this
+example runs it:
+
+1. build the instance ``S``: one complete (d, D)-ary hypertree per vertex of
+   a high-girth regular bipartite template ``Q``, with leaves of different
+   hypertrees matched along the edges of ``Q``;
+2. run a local algorithm on ``S`` (the safe algorithm, the uniform-share
+   baseline and the Theorem 3 averaging algorithm are all tried);
+3. let the adversary pick the hypertree ``T_p`` with ``δ(p) ≥ 0`` and carve
+   out the sub-instance ``S'``, which is tree-like and has a feasible
+   solution of value 1;
+4. measure the ratio each algorithm achieves on ``S'`` and compare it with
+   the finite-R bound the construction certifies and the asymptotic
+   Theorem 1 bound.
+
+Run with:  python examples/lower_bound_adversary.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_rows
+from repro.lowerbound import (
+    build_lower_bound_instance,
+    greedy_uniform_algorithm,
+    local_averaging_algorithm,
+    run_adversary,
+    safe_algorithm,
+    section46_trace,
+)
+
+
+def main() -> None:
+    delta_VI, delta_VK, r = 3, 2, 1
+    construction = build_lower_bound_instance(delta_VI, delta_VK, r, seed=0)
+    summary = construction.structure_summary()
+    print(render_rows([summary], precision=0, title="The instance S (Figure 1 of the paper)"))
+    print()
+
+    algorithms = {
+        "safe (r=1)": safe_algorithm,
+        "uniform share": greedy_uniform_algorithm,
+        "local averaging R=1": local_averaging_algorithm(1),
+    }
+    rows = []
+    for name, algorithm in algorithms.items():
+        report = run_adversary(algorithm, construction, name=name)
+        rows.append(
+            {
+                "algorithm": name,
+                "objective on S": report.objective_on_S,
+                "objective on S'": report.objective_on_Sprime,
+                "optimum of S'": report.optimum_on_Sprime,
+                "measured ratio": report.measured_ratio,
+            }
+        )
+    print(render_rows(rows, title="Adversarial ratios on S'"))
+    print()
+    print(
+        f"Certified finite-R bound for this construction : "
+        f"{construction.finite_R_bound():.3f}"
+    )
+    print(
+        f"Asymptotic Theorem 1 bound (R -> infinity)      : "
+        f"{construction.theorem1_bound():.3f}"
+    )
+    print(
+        f"Safe algorithm's guarantee (upper bound)        : "
+        f"{float(construction.delta_VI):.3f}"
+    )
+    print()
+    print("Every local algorithm implemented in this package indeed loses at")
+    print("least the certified factor on S' -- widening the horizon does not")
+    print("help, because the radius-r views of the selected hypertree look")
+    print("identical in S and S'.")
+    print()
+
+    # The executable Section 4.6 counting argument, traced for the safe
+    # algorithm's solution: level sums S(ℓ) on the selected hypertree and
+    # the ratio the argument certifies from them.
+    trace = section46_trace(construction, safe_algorithm(construction.problem))
+    trace_rows = [
+        {"level": level, "S(level)": value}
+        for level, value in enumerate(trace.level_sums)
+    ]
+    print(render_rows(trace_rows, title="Section 4.6 level sums for the safe solution"))
+    print(f"Ratio certified by the counting argument: {trace.certified_alpha:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,136 @@
+"""repro -- reproduction of "Approximating max-min linear programs with local algorithms".
+
+The package implements the max-min LP model of Floréen, Kaski, Musto and
+Suomela (IPDPS 2008), the paper's local algorithms (the safe algorithm and
+the local averaging algorithm of Theorem 3), the Section 4 lower-bound
+construction, a synchronous message-passing simulator in which the
+algorithms run distributedly, instance generators, and the motivating
+sensor-network / ISP applications.
+
+Quick start
+-----------
+>>> from repro import grid_instance, safe_solution, local_averaging_solution, optimal_solution
+>>> problem = grid_instance((6, 6), seed=0)
+>>> opt = optimal_solution(problem)
+>>> safe = problem.objective(problem.to_array(safe_solution(problem)))
+>>> local = local_averaging_solution(problem, R=2)
+>>> opt.objective >= local.objective >= safe > 0
+True
+"""
+
+from .core import (
+    DegreeBounds,
+    LocalAveragingResult,
+    MaxMinLP,
+    MaxMinLPBuilder,
+    OptimalSolution,
+    SolutionReport,
+    approximation_ratio,
+    evaluate_solution,
+    local_averaging_solution,
+    optimal_objective,
+    optimal_solution,
+    safe_approximation_guarantee,
+    safe_solution,
+    safe_value,
+    single_shot_local_solution,
+    solve_local_lp,
+    uniform_share_solution,
+    unshrunk_averaging_solution,
+)
+from .io import (
+    dump_instance,
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    solution_from_dict,
+    solution_to_dict,
+)
+from .exceptions import (
+    ConstructionError,
+    InfeasibleError,
+    InvalidInstanceError,
+    ReproError,
+    SolverError,
+    UnboundedError,
+)
+from .generators import (
+    cycle_instance,
+    grid_instance,
+    path_instance,
+    random_bounded_degree_instance,
+    unit_disk_instance,
+)
+from .hypergraph import (
+    GrowthProfile,
+    Hypergraph,
+    communication_hypergraph,
+    growth_profile,
+    relative_growth,
+    theorem3_ratio_bound,
+)
+from .lowerbound import (
+    LowerBoundInstance,
+    build_lower_bound_instance,
+    corollary2_bound,
+    finite_R_bound,
+    theorem1_bound,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "MaxMinLP",
+    "MaxMinLPBuilder",
+    "DegreeBounds",
+    "SolutionReport",
+    "approximation_ratio",
+    "evaluate_solution",
+    "safe_solution",
+    "safe_value",
+    "safe_approximation_guarantee",
+    "optimal_solution",
+    "optimal_objective",
+    "OptimalSolution",
+    "local_averaging_solution",
+    "solve_local_lp",
+    "LocalAveragingResult",
+    "uniform_share_solution",
+    "single_shot_local_solution",
+    "unshrunk_averaging_solution",
+    # io
+    "instance_to_dict",
+    "instance_from_dict",
+    "dump_instance",
+    "load_instance",
+    "solution_to_dict",
+    "solution_from_dict",
+    # hypergraph
+    "Hypergraph",
+    "communication_hypergraph",
+    "relative_growth",
+    "growth_profile",
+    "theorem3_ratio_bound",
+    "GrowthProfile",
+    # generators
+    "grid_instance",
+    "path_instance",
+    "cycle_instance",
+    "random_bounded_degree_instance",
+    "unit_disk_instance",
+    # lower bound
+    "LowerBoundInstance",
+    "build_lower_bound_instance",
+    "theorem1_bound",
+    "corollary2_bound",
+    "finite_R_bound",
+    # exceptions
+    "ReproError",
+    "InvalidInstanceError",
+    "InfeasibleError",
+    "UnboundedError",
+    "SolverError",
+    "ConstructionError",
+]

@@ -1,0 +1,17 @@
+"""Analysis utilities: ratio measurement, parameter sweeps and table output."""
+
+from .ratios import AlgorithmComparison, compare_algorithms, ratio_of
+from .sweeps import growth_sweep, radius_sweep, safe_ratio_sweep
+from .tables import format_series, format_table, render_rows
+
+__all__ = [
+    "AlgorithmComparison",
+    "compare_algorithms",
+    "ratio_of",
+    "radius_sweep",
+    "safe_ratio_sweep",
+    "growth_sweep",
+    "format_table",
+    "format_series",
+    "render_rows",
+]

@@ -1,0 +1,97 @@
+"""Parameter sweeps used by the benchmark harness.
+
+Each sweep function runs one of the paper's experiments over a range of
+parameters and returns a list of per-point dictionaries that the table
+formatter (:mod:`repro.analysis.tables`) turns into the text "figure".  The
+benchmarks call these directly so the same code path serves interactive use
+(examples) and regression benchmarking.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.local_averaging import local_averaging_solution
+from ..core.optimal import optimal_objective
+from ..core.problem import MaxMinLP
+from ..core.safe import safe_approximation_guarantee, safe_solution
+from ..core.solution import approximation_ratio
+from ..hypergraph.communication import communication_hypergraph
+from ..hypergraph.growth import growth_profile
+
+__all__ = ["radius_sweep", "safe_ratio_sweep", "growth_sweep"]
+
+
+def radius_sweep(
+    problem: MaxMinLP,
+    radii: Sequence[int],
+    *,
+    backend: str = "scipy",
+    optimum: Optional[float] = None,
+) -> List[Dict[str, float]]:
+    """Run the local averaging algorithm for every radius in ``radii``.
+
+    Each row reports the achieved objective, its approximation ratio, the
+    per-instance proven bound ``max_k M_k/m_k · max_i N_i/n_i`` and the
+    coarser Theorem 3 bound ``γ(R-1)·γ(R)``.
+    """
+    if optimum is None:
+        optimum = optimal_objective(problem)
+    H = communication_hypergraph(problem)
+    max_R = max(radii)
+    profile = growth_profile(H, max_R)
+    rows: List[Dict[str, float]] = []
+    safe_obj = problem.objective(problem.to_array(safe_solution(problem)))
+    for R in radii:
+        result = local_averaging_solution(problem, R, backend=backend, hypergraph=H)
+        rows.append(
+            {
+                "R": R,
+                "optimum": float(optimum),
+                "safe_objective": float(safe_obj),
+                "objective": result.objective,
+                "ratio": approximation_ratio(optimum, result.objective),
+                "instance_bound": result.proven_ratio_bound,
+                "gamma_bound": profile.ratio_bound(R),
+            }
+        )
+    return rows
+
+
+def safe_ratio_sweep(
+    instances: Iterable[MaxMinLP],
+    *,
+    labels: Optional[Sequence[str]] = None,
+) -> List[Dict[str, float]]:
+    """Measure the safe algorithm's ratio against its ``Δ_I^V`` guarantee."""
+    rows: List[Dict[str, float]] = []
+    for idx, problem in enumerate(instances):
+        optimum = optimal_objective(problem)
+        x = safe_solution(problem)
+        objective = problem.objective(problem.to_array(x))
+        rows.append(
+            {
+                "instance": labels[idx] if labels is not None else f"instance-{idx}",
+                "agents": problem.n_agents,
+                "delta_VI": safe_approximation_guarantee(problem),
+                "optimum": float(optimum),
+                "safe_objective": float(objective),
+                "ratio": approximation_ratio(optimum, objective),
+            }
+        )
+    return rows
+
+
+def growth_sweep(
+    problems: Dict[str, MaxMinLP], max_radius: int
+) -> List[Dict[str, float]]:
+    """Tabulate ``γ(r)`` for several instances (the Theorem 3 regime check)."""
+    rows: List[Dict[str, float]] = []
+    for label, problem in problems.items():
+        H = communication_hypergraph(problem)
+        profile = growth_profile(H, max_radius)
+        row: Dict[str, float] = {"instance": label, "agents": problem.n_agents}
+        for r in range(max_radius + 1):
+            row[f"gamma({r})"] = profile.gamma[r]
+        rows.append(row)
+    return rows

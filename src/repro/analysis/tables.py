@@ -1,0 +1,85 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+Every benchmark regenerates a table or a figure series of the paper; since
+the environment is headless, "figures" are emitted as aligned text tables
+(one row per x-value) that can be diffed, inspected and pasted into
+EXPERIMENTS.md.  The helpers here keep that formatting consistent across all
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Union
+
+__all__ = ["format_table", "format_series", "render_rows"]
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, *, precision: int = 4) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    precision: int = 4,
+    title: str = "",
+) -> str:
+    """Format ``rows`` as an aligned, pipe-separated text table."""
+    formatted: List[List[str]] = [
+        [_format_cell(cell, precision=precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(widths[idx]) for idx, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append(
+            " | ".join(cell.rjust(widths[idx]) for idx, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: Mapping[str, Sequence[Cell]],
+    x_values: Sequence[Cell],
+    *,
+    precision: int = 4,
+    title: str = "",
+) -> str:
+    """Format one or more y-series against a common x-axis (a text "figure")."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for idx, x in enumerate(x_values):
+        rows.append([x, *[values[idx] for values in series.values()]])
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def render_rows(rows: Iterable[Mapping[str, Cell]], *, precision: int = 4, title: str = "") -> str:
+    """Format a list of dictionaries (all sharing the same keys) as a table."""
+    rows = list(rows)
+    if not rows:
+        return title
+    headers = list(rows[0].keys())
+    return format_table(
+        headers,
+        [[row[h] for h in headers] for row in rows],
+        precision=precision,
+        title=title,
+    )

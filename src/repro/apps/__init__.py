@@ -1,0 +1,29 @@
+"""Applications of the max-min LP (paper Section 2).
+
+* :mod:`repro.apps.sensor` -- two-tier sensor network lifetime maximisation,
+* :mod:`repro.apps.isp` -- ISP fair-bandwidth allocation.
+"""
+
+from .isp import AccessRouter, Customer, ISPNetwork, LastMileLink, random_isp_network
+from .sensor import (
+    Area,
+    Relay,
+    Sensor,
+    SensorNetwork,
+    SensorNetworkReport,
+    random_sensor_network,
+)
+
+__all__ = [
+    "Sensor",
+    "Relay",
+    "Area",
+    "SensorNetwork",
+    "SensorNetworkReport",
+    "random_sensor_network",
+    "Customer",
+    "LastMileLink",
+    "AccessRouter",
+    "ISPNetwork",
+    "random_isp_network",
+]

@@ -1,0 +1,204 @@
+"""Command-line entry point for the reproduction's experiments.
+
+``python -m repro <experiment>`` regenerates the text tables of the paper's
+artefacts without going through pytest — convenient for interactive
+exploration and for embedding the numbers in reports.  The heavy lifting is
+the same code the benchmark harness uses (:mod:`repro.analysis`), so the CLI
+and the benchmarks cannot drift apart.
+
+Available experiments::
+
+    growth       γ(r) profiles of the instance families (Theorem 3 context)
+    thm3         ratio-vs-radius sweep of the averaging algorithm
+    safe         safe-algorithm ratios vs the Δ_I^V guarantee (THM-SAFE)
+    thm1         Theorem 1 bound table and the adversarial ratios
+    sensor       the Section 2 sensor-network application
+    isp          the Section 2 ISP application
+    all          everything above, in order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .analysis import growth_sweep, radius_sweep, render_rows, safe_ratio_sweep
+from .apps import random_isp_network, random_sensor_network
+from .core import local_averaging_solution, optimal_solution, safe_solution
+from .generators import (
+    cycle_instance,
+    grid_instance,
+    random_bounded_degree_instance,
+    unit_disk_instance,
+)
+from .lowerbound import (
+    build_lower_bound_instance,
+    finite_R_bound,
+    local_averaging_algorithm,
+    run_adversary,
+    safe_algorithm,
+    theorem1_bound,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _print(title: str, body: str) -> None:
+    print(f"\n{title}\n{'=' * len(title)}\n{body}")
+
+
+def run_growth(seed: int) -> None:
+    """γ(r) profiles of representative instance families."""
+    problems = {
+        "cycle n=40": cycle_instance(40),
+        "torus 8x8": grid_instance((8, 8), torus=True),
+        "unit disk n=60": unit_disk_instance(60, radius=0.18, max_support=6, seed=seed),
+        "Section-4 tree": build_lower_bound_instance(3, 2, 1, seed=seed).problem,
+    }
+    _print("Relative growth γ(r)", render_rows(growth_sweep(problems, 3)))
+
+
+def run_thm3(seed: int) -> None:
+    """Ratio-vs-radius sweeps of the Theorem 3 algorithm."""
+    sweeps = {
+        "cycle n=40": (cycle_instance(40), [1, 2, 3]),
+        "torus 6x6": (grid_instance((6, 6), torus=True), [1, 2]),
+        "unit disk n=36": (
+            unit_disk_instance(36, radius=0.24, max_support=6, seed=seed),
+            [1, 2],
+        ),
+    }
+    for label, (problem, radii) in sweeps.items():
+        _print(f"THM3 on {label}", render_rows(radius_sweep(problem, radii)))
+
+
+def run_safe(seed: int) -> None:
+    """Safe-algorithm ratios vs the Δ_I^V guarantee."""
+    instances = {
+        "grid 6x6": grid_instance((6, 6)),
+        "torus 6x6": grid_instance((6, 6), torus=True),
+        "unit disk n=40": unit_disk_instance(40, radius=0.22, max_support=6, seed=seed),
+        "random Δ=3": random_bounded_degree_instance(
+            30, max_resource_support=3, max_beneficiary_support=3, seed=seed
+        ),
+        "random Δ=5": random_bounded_degree_instance(
+            30, max_resource_support=5, max_beneficiary_support=3, seed=seed + 1
+        ),
+    }
+    rows = safe_ratio_sweep(list(instances.values()), labels=list(instances.keys()))
+    _print("THM-SAFE: safe algorithm vs guarantee", render_rows(rows))
+
+
+def run_thm1(seed: int) -> None:
+    """Theorem 1 bound table plus adversarial ratios on one construction."""
+    bound_rows = []
+    for delta_VI in (2, 3, 4, 5):
+        for delta_VK in (2, 3):
+            d, D = delta_VI - 1, delta_VK - 1
+            bound_rows.append(
+                {
+                    "delta_VI": delta_VI,
+                    "delta_VK": delta_VK,
+                    "theorem1": theorem1_bound(delta_VI, delta_VK),
+                    "finite_R2": finite_R_bound(d, D, 2) if d * D > 1 else 1.0,
+                    "safe_guarantee": float(delta_VI),
+                }
+            )
+    _print("THM1: bound table", render_rows(bound_rows))
+
+    construction = build_lower_bound_instance(3, 2, 1, seed=seed)
+    adversary_rows = []
+    for name, algorithm in (
+        ("safe", safe_algorithm),
+        ("averaging-R1", local_averaging_algorithm(1)),
+    ):
+        report = run_adversary(algorithm, construction, name=name)
+        adversary_rows.append(
+            {
+                "algorithm": name,
+                "measured_ratio": report.measured_ratio,
+                "finite_R_bound": report.finite_R_bound,
+                "theorem1_bound": report.theorem1_bound,
+            }
+        )
+    _print("THM1: adversarial ratios (Δ_I^V=3, Δ_K^V=2, r=1)", render_rows(adversary_rows))
+
+
+def run_sensor(seed: int) -> None:
+    """The Section 2 sensor-network application."""
+    network = random_sensor_network(
+        18, 6, 5, radio_range=0.35, sensing_range=0.35, seed=seed
+    )
+    problem = network.to_maxmin_lp()
+    optimum = optimal_solution(problem)
+    safe = safe_solution(problem)
+    averaging = local_averaging_solution(problem, 1)
+    rows = [
+        {"algorithm": "optimal", "min_area_rate": optimum.objective},
+        {
+            "algorithm": "safe",
+            "min_area_rate": problem.objective(problem.to_array(safe)),
+        },
+        {"algorithm": "averaging R=1", "min_area_rate": averaging.objective},
+    ]
+    _print("APP-SENSOR: minimum per-area data rate", render_rows(rows))
+    report = network.interpret_solution(problem, optimum.x)
+    _print(
+        "APP-SENSOR: per-area rates at the optimum",
+        render_rows([{"area": a, "rate": r} for a, r in sorted(report.area_rates.items())]),
+    )
+
+
+def run_isp(seed: int) -> None:
+    """The Section 2 ISP application."""
+    rows = []
+    for n_routers in (2, 4, 8):
+        network = random_isp_network(8, n_routers, seed=seed)
+        problem = network.to_maxmin_lp()
+        optimum = optimal_solution(problem)
+        safe = safe_solution(problem)
+        rows.append(
+            {
+                "routers": n_routers,
+                "optimal_share": optimum.objective,
+                "safe_share": problem.objective(problem.to_array(safe)),
+            }
+        )
+    _print("APP-ISP: fair share vs access routers (8 customers)", render_rows(rows))
+
+
+EXPERIMENTS: Dict[str, Callable[[int], None]] = {
+    "growth": run_growth,
+    "thm3": run_thm3,
+    "safe": run_safe,
+    "thm1": run_thm1,
+    "sensor": run_sensor,
+    "isp": run_isp,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables from the command line.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*EXPERIMENTS, "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="seed for the randomised instances"
+    )
+    args = parser.parse_args(argv)
+
+    selected = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in selected:
+        EXPERIMENTS[name](args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Core of the reproduction: the max-min LP model and the paper's algorithms.
+
+The subpackage contains:
+
+* :mod:`repro.core.problem` -- the instance model (:class:`MaxMinLP`,
+  :class:`MaxMinLPBuilder`, :class:`DegreeBounds`),
+* :mod:`repro.core.solution` -- feasibility / objective / ratio reporting,
+* :mod:`repro.core.safe` -- the safe algorithm (Section 4, eq. 2),
+* :mod:`repro.core.local_averaging` -- the Theorem 3 local averaging
+  algorithm (Section 5),
+* :mod:`repro.core.optimal` -- the centralised reference optimum.
+"""
+
+from .baselines import (
+    single_shot_local_solution,
+    uniform_share_solution,
+    unshrunk_averaging_solution,
+)
+from .local_averaging import (
+    LocalAveragingResult,
+    local_averaging_solution,
+    solve_local_lp,
+)
+from .optimal import OptimalSolution, optimal_objective, optimal_solution
+from .problem import Agent, Beneficiary, DegreeBounds, MaxMinLP, MaxMinLPBuilder, Resource
+from .safe import safe_approximation_guarantee, safe_solution, safe_value
+from .solution import SolutionReport, approximation_ratio, evaluate_solution
+
+__all__ = [
+    "Agent",
+    "Beneficiary",
+    "Resource",
+    "DegreeBounds",
+    "MaxMinLP",
+    "MaxMinLPBuilder",
+    "SolutionReport",
+    "approximation_ratio",
+    "evaluate_solution",
+    "safe_solution",
+    "safe_value",
+    "safe_approximation_guarantee",
+    "optimal_solution",
+    "optimal_objective",
+    "OptimalSolution",
+    "LocalAveragingResult",
+    "local_averaging_solution",
+    "solve_local_lp",
+    "uniform_share_solution",
+    "single_shot_local_solution",
+    "unshrunk_averaging_solution",
+]

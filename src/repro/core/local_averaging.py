@@ -1,0 +1,216 @@
+"""The local averaging approximation algorithm (paper Section 5, Theorem 3).
+
+For a radius parameter ``R`` the algorithm proceeds in three conceptual
+steps (all of which only need information within distance ``Θ(R)`` of each
+agent, which is what makes it a *local* algorithm):
+
+1. every agent ``u`` collects its radius-``R`` view ``V^u = B_H(u, R)`` and
+   solves the local LP (9): maximise ``min_{k ∈ K^u} Σ_{v∈V_k} c_kv x^u_v``
+   subject to ``Σ_{v ∈ V_i^u} a_iv x^u_v ≤ 1`` for every resource touching
+   the view, where ``K^u = {k : V_k ⊆ V^u}``;
+2. every agent ``j`` computes the shrink factor
+   ``β_j = min_{i ∈ I_j} n_i / N_i`` where ``N_i = |∪_{j'∈V_i} V^{j'}|`` and
+   ``n_i = min_{j'∈V_i} |V^{j'}|``;
+3. the output is the *average of local solutions*, scaled down to restore
+   feasibility: ``x̃_j = (β_j / |V^j|) Σ_{u ∈ V^j} x^u_j``.
+
+Section 5.2 shows ``x̃`` is always feasible and Section 5.3 that its
+objective is within ``max_k M_k/m_k · max_i N_i/n_i ≤ γ(R-1)·γ(R)`` of the
+optimum, where ``S_k = ∩_{j∈V_k} V^j``, ``m_k = |S_k|`` and
+``M_k = max_{j∈V_k} |V^j|``.
+
+This module is the centralised simulation of the algorithm (every quantity
+is computed exactly as defined); the message-passing version that runs on
+the synchronous simulator is :class:`repro.distributed.programs.LocalAveragingProgram`
+and is checked against this implementation in the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from ..exceptions import SolverError
+from ..hypergraph.communication import communication_hypergraph
+from ..hypergraph.hypergraph import Hypergraph
+from ..lp.backends import DEFAULT_BACKEND
+from ..lp.maxmin import solve_max_min
+from .problem import Agent, Beneficiary, MaxMinLP, Resource
+
+__all__ = ["LocalAveragingResult", "local_averaging_solution", "solve_local_lp"]
+
+
+@dataclass(frozen=True)
+class LocalAveragingResult:
+    """Output and diagnostics of the local averaging algorithm.
+
+    Attributes
+    ----------
+    R:
+        The radius parameter of the algorithm.
+    x:
+        The final (feasible) solution ``x̃`` keyed by agent.
+    objective:
+        The achieved objective ``ω(x̃)``.
+    beta:
+        The per-agent shrink factors ``β_j``.
+    view_sizes:
+        ``|V^j| = |B_H(j, R)|`` per agent.
+    resource_ratio:
+        ``max_i N_i / n_i`` (1.0 when there are no resources).
+    beneficiary_ratio:
+        ``max_k M_k / m_k`` (1.0 when there are no beneficiaries).
+    proven_ratio_bound:
+        The per-instance guarantee ``max_k M_k/m_k · max_i N_i/n_i`` of
+        Section 5.3; the true approximation ratio never exceeds it.
+    local_objectives:
+        The optimal values ``ω^u`` of the local LPs (``inf`` when ``K^u`` is
+        empty and the local objective is vacuous).
+    local_solutions:
+        The per-agent local solutions ``x^u`` (only retained when
+        ``keep_local_solutions=True`` was passed).
+    """
+
+    R: int
+    x: Dict[Agent, float]
+    objective: float
+    beta: Dict[Agent, float]
+    view_sizes: Dict[Agent, int]
+    resource_ratio: float
+    beneficiary_ratio: float
+    proven_ratio_bound: float
+    local_objectives: Dict[Agent, float] = field(repr=False, default_factory=dict)
+    local_solutions: Optional[Dict[Agent, Dict[Agent, float]]] = field(
+        repr=False, default=None
+    )
+
+
+def solve_local_lp(
+    problem: MaxMinLP,
+    view: FrozenSet[Agent],
+    *,
+    backend: str = DEFAULT_BACKEND,
+) -> Dict[Agent, float]:
+    """Solve the local LP (9) of Section 5.1 over the view ``V^u``.
+
+    Returns the local solution ``x^u`` keyed by the agents of the view.  When
+    the view contains no complete beneficiary support (``K^u = ∅``) the local
+    objective is vacuous and the all-zero solution is returned.
+    """
+    local = problem.local_subproblem(view)
+    if local.n_beneficiaries == 0 or local.n_agents == 0:
+        return {v: 0.0 for v in local.agents}
+    result = solve_max_min(local, backend=backend)
+    return dict(result.x)
+
+
+def local_averaging_solution(
+    problem: MaxMinLP,
+    R: int,
+    *,
+    backend: str = DEFAULT_BACKEND,
+    hypergraph: Optional[Hypergraph] = None,
+    keep_local_solutions: bool = False,
+) -> LocalAveragingResult:
+    """Run the Section 5 local averaging algorithm with radius ``R``.
+
+    Parameters
+    ----------
+    problem:
+        The max-min LP instance.
+    R:
+        Radius of the local views ``V^u = B_H(u, R)``; must be at least 1.
+    backend:
+        LP backend used for the per-agent local LPs.
+    hypergraph:
+        Optional pre-built communication hypergraph of ``problem`` (built on
+        demand otherwise); supplying it avoids repeated construction in
+        parameter sweeps.
+    keep_local_solutions:
+        Retain the per-agent local solutions in the result (memory-heavy for
+        large instances; mainly useful for debugging and for the figure-2
+        benchmark).
+    """
+    if R < 1:
+        raise ValueError("the local averaging algorithm requires R >= 1")
+    H = hypergraph if hypergraph is not None else communication_hypergraph(problem)
+    if set(H.nodes) != set(problem.agents):
+        raise SolverError(
+            "the supplied hypergraph's vertex set does not match the problem's agents"
+        )
+
+    # Step 1: local views and local LP solutions.
+    views: Dict[Agent, FrozenSet[Agent]] = {}
+    local_solutions: Dict[Agent, Dict[Agent, float]] = {}
+    local_objectives: Dict[Agent, float] = {}
+    for u in problem.agents:
+        view = H.ball(u, R)
+        views[u] = view
+        x_u = solve_local_lp(problem, view, backend=backend)
+        local_solutions[u] = x_u
+        local = problem.local_subproblem(view)
+        local_objectives[u] = local.objective(local.to_array(x_u))
+
+    view_sizes = {u: len(views[u]) for u in problem.agents}
+
+    # Step 2: the set system of Figure 2.
+    #   U_i = ∪_{j ∈ V_i} V^j,  N_i = |U_i|,  n_i = min_{j ∈ V_i} |V^j|
+    #   S_k = ∩_{j ∈ V_k} V^j,  m_k = |S_k|,  M_k = max_{j ∈ V_k} |V^j|
+    N: Dict[Resource, int] = {}
+    n: Dict[Resource, int] = {}
+    for i in problem.resources:
+        support = problem.resource_support(i)
+        union: set = set()
+        smallest = None
+        for j in support:
+            union |= views[j]
+            size = view_sizes[j]
+            smallest = size if smallest is None else min(smallest, size)
+        N[i] = len(union)
+        n[i] = smallest if smallest is not None else 0
+
+    M: Dict[Beneficiary, int] = {}
+    m: Dict[Beneficiary, int] = {}
+    for k in problem.beneficiaries:
+        support = problem.beneficiary_support(k)
+        inter: Optional[set] = None
+        largest = 0
+        for j in support:
+            inter = set(views[j]) if inter is None else inter & views[j]
+            largest = max(largest, view_sizes[j])
+        M[k] = largest
+        m[k] = len(inter) if inter is not None else 0
+
+    resource_ratio = max((N[i] / n[i] for i in problem.resources if n[i] > 0), default=1.0)
+    beneficiary_ratio = max(
+        (M[k] / m[k] for k in problem.beneficiaries if m[k] > 0), default=1.0
+    )
+
+    # Step 3: shrink factors and the averaged solution.
+    beta: Dict[Agent, float] = {}
+    x_tilde: Dict[Agent, float] = {}
+    for j in problem.agents:
+        resources_j = problem.agent_resources(j)
+        if resources_j:
+            beta_j = min(n[i] / N[i] for i in resources_j)
+        else:
+            beta_j = 1.0
+        beta[j] = beta_j
+        total = 0.0
+        for u in views[j]:
+            total += local_solutions[u].get(j, 0.0)
+        x_tilde[j] = beta_j * total / view_sizes[j]
+
+    objective = problem.objective(problem.to_array(x_tilde))
+    return LocalAveragingResult(
+        R=R,
+        x=x_tilde,
+        objective=float(objective),
+        beta=beta,
+        view_sizes=view_sizes,
+        resource_ratio=float(resource_ratio),
+        beneficiary_ratio=float(beneficiary_ratio),
+        proven_ratio_bound=float(resource_ratio * beneficiary_ratio),
+        local_objectives=local_objectives,
+        local_solutions=local_solutions if keep_local_solutions else None,
+    )

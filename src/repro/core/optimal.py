@@ -1,0 +1,53 @@
+"""Centralised (global) optimum of a max-min LP instance.
+
+The global optimum ``ω*`` is the reference value against which every local
+algorithm's approximation ratio is measured (Section 1.6).  It is obtained
+through the LP reduction of Section 1.3 (see :mod:`repro.lp.maxmin`); this
+module simply exposes it with the package's problem/solution types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..lp.backends import DEFAULT_BACKEND
+from ..lp.maxmin import solve_max_min
+from .problem import Agent, MaxMinLP
+
+__all__ = ["OptimalSolution", "optimal_solution", "optimal_objective"]
+
+
+@dataclass(frozen=True)
+class OptimalSolution:
+    """The global optimum of a max-min LP instance.
+
+    Attributes
+    ----------
+    objective:
+        The optimal value ``ω*``.
+    x:
+        An optimal activity vector keyed by agent (optimal solutions need not
+        be unique; this is the one returned by the LP backend).
+    backend:
+        Name of the LP backend used.
+    """
+
+    objective: float
+    x: Dict[Agent, float]
+    backend: str
+
+
+def optimal_solution(
+    problem: MaxMinLP, *, backend: str = DEFAULT_BACKEND
+) -> OptimalSolution:
+    """Compute the global optimum of ``problem`` via the LP reduction."""
+    result = solve_max_min(problem, backend=backend)
+    return OptimalSolution(
+        objective=result.objective, x=result.x, backend=result.backend
+    )
+
+
+def optimal_objective(problem: MaxMinLP, *, backend: str = DEFAULT_BACKEND) -> float:
+    """The optimal objective value ``ω*`` of ``problem``."""
+    return optimal_solution(problem, backend=backend).objective

@@ -1,0 +1,644 @@
+"""The max-min linear program instance model.
+
+This module implements the optimisation problem studied by the paper
+(Section 1.2):
+
+.. math::
+
+    \\text{maximise } \\omega = \\min_{k \\in K} \\sum_{v \\in V} c_{kv} x_v
+    \\quad\\text{subject to}\\quad
+    \\sum_{v \\in V} a_{iv} x_v \\le 1 \\;\\; (i \\in I), \\qquad x_v \\ge 0.
+
+The index sets are:
+
+``V``
+    *agents* -- each agent ``v`` controls one decision variable ``x_v``,
+``I``
+    *resources* (packing constraints),
+``K``
+    *beneficiary parties* (the minimum in the objective ranges over them).
+
+The support sets (Section 1.2) are
+
+* ``V_i = {v : a_iv > 0}`` -- agents consuming resource ``i``,
+* ``V_k = {v : c_kv > 0}`` -- agents benefiting party ``k``,
+* ``I_v = {i : a_iv > 0}`` -- resources consumed by agent ``v``,
+* ``K_v = {k : c_kv > 0}`` -- parties benefited by agent ``v``,
+
+and the degree bounds are ``|V_i| <= Δ_I^V``, ``|V_k| <= Δ_K^V``,
+``|I_v| <= Δ_V^I`` and ``|K_v| <= Δ_V^K``.
+
+The module provides an immutable compiled instance (:class:`MaxMinLP`) with
+sparse-matrix views used by the vectorised feasibility / objective routines,
+and a mutable :class:`MaxMinLPBuilder` used by generators and applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..exceptions import InvalidInstanceError
+
+__all__ = [
+    "Agent",
+    "Resource",
+    "Beneficiary",
+    "DegreeBounds",
+    "MaxMinLP",
+    "MaxMinLPBuilder",
+]
+
+# Type aliases: agents, resources and beneficiaries are arbitrary hashables.
+Agent = Hashable
+Resource = Hashable
+Beneficiary = Hashable
+
+
+@dataclass(frozen=True)
+class DegreeBounds:
+    """The four support-size bounds of Section 1.2.
+
+    Attributes
+    ----------
+    max_resource_support:
+        ``Δ_I^V = max_i |V_i|`` -- the largest number of agents sharing a
+        single resource.
+    max_beneficiary_support:
+        ``Δ_K^V = max_k |V_k|`` -- the largest number of agents benefiting a
+        single party.
+    max_resources_per_agent:
+        ``Δ_V^I = max_v |I_v|``.
+    max_beneficiaries_per_agent:
+        ``Δ_V^K = max_v |K_v|``.
+    """
+
+    max_resource_support: int
+    max_beneficiary_support: int
+    max_resources_per_agent: int
+    max_beneficiaries_per_agent: int
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the bounds as a plain dictionary (useful for reporting)."""
+        return {
+            "delta_VI": self.max_resource_support,
+            "delta_VK": self.max_beneficiary_support,
+            "delta_IV": self.max_resources_per_agent,
+            "delta_KV": self.max_beneficiaries_per_agent,
+        }
+
+
+class MaxMinLP:
+    """An immutable, compiled max-min LP instance.
+
+    Instances are normally produced through :class:`MaxMinLPBuilder` or one
+    of the generators in :mod:`repro.generators`; the constructor accepts the
+    raw coefficient mappings directly.
+
+    Parameters
+    ----------
+    agents:
+        Iterable of agent identifiers (order is preserved and defines the
+        column order of the compiled matrices).
+    consumption:
+        Mapping ``(resource, agent) -> a_iv`` with strictly positive values.
+        Resources are inferred from the keys unless ``resources`` is given.
+    benefit:
+        Mapping ``(beneficiary, agent) -> c_kv`` with strictly positive
+        values.  Beneficiaries are inferred unless ``beneficiaries`` is given.
+    resources, beneficiaries:
+        Optional explicit orderings of the resource / beneficiary index sets.
+    validate:
+        When true (default), enforce the paper's structural assumptions:
+        non-negative coefficients, every agent consumes at least one resource
+        (``I_v`` non-empty) and every resource / beneficiary has a non-empty
+        support.
+    """
+
+    __slots__ = (
+        "_agents",
+        "_resources",
+        "_beneficiaries",
+        "_agent_index",
+        "_resource_index",
+        "_beneficiary_index",
+        "_a",
+        "_c",
+        "_A",
+        "_C",
+        "_resource_support",
+        "_beneficiary_support",
+        "_agent_resources",
+        "_agent_beneficiaries",
+    )
+
+    def __init__(
+        self,
+        agents: Iterable[Agent],
+        consumption: Mapping[Tuple[Resource, Agent], float],
+        benefit: Mapping[Tuple[Beneficiary, Agent], float],
+        *,
+        resources: Optional[Iterable[Resource]] = None,
+        beneficiaries: Optional[Iterable[Beneficiary]] = None,
+        validate: bool = True,
+    ) -> None:
+        agent_list = list(agents)
+        if len(set(agent_list)) != len(agent_list):
+            raise InvalidInstanceError("duplicate agent identifiers")
+        self._agents: Tuple[Agent, ...] = tuple(agent_list)
+        self._agent_index: Dict[Agent, int] = {v: j for j, v in enumerate(self._agents)}
+
+        if resources is None:
+            seen: Dict[Resource, None] = {}
+            for (i, _v) in consumption:
+                seen.setdefault(i, None)
+            resource_list = list(seen)
+        else:
+            resource_list = list(resources)
+        if len(set(resource_list)) != len(resource_list):
+            raise InvalidInstanceError("duplicate resource identifiers")
+        self._resources: Tuple[Resource, ...] = tuple(resource_list)
+        self._resource_index: Dict[Resource, int] = {
+            i: r for r, i in enumerate(self._resources)
+        }
+
+        if beneficiaries is None:
+            seenb: Dict[Beneficiary, None] = {}
+            for (k, _v) in benefit:
+                seenb.setdefault(k, None)
+            beneficiary_list = list(seenb)
+        else:
+            beneficiary_list = list(beneficiaries)
+        if len(set(beneficiary_list)) != len(beneficiary_list):
+            raise InvalidInstanceError("duplicate beneficiary identifiers")
+        self._beneficiaries: Tuple[Beneficiary, ...] = tuple(beneficiary_list)
+        self._beneficiary_index: Dict[Beneficiary, int] = {
+            k: r for r, k in enumerate(self._beneficiaries)
+        }
+
+        self._a: Dict[Tuple[Resource, Agent], float] = {}
+        for (i, v), value in consumption.items():
+            value = float(value)
+            if validate and value < 0:
+                raise InvalidInstanceError(
+                    f"negative consumption coefficient a[{i!r},{v!r}] = {value}"
+                )
+            if i not in self._resource_index:
+                raise InvalidInstanceError(f"unknown resource {i!r} in consumption")
+            if v not in self._agent_index:
+                raise InvalidInstanceError(f"unknown agent {v!r} in consumption")
+            if value > 0:
+                self._a[(i, v)] = value
+
+        self._c: Dict[Tuple[Beneficiary, Agent], float] = {}
+        for (k, v), value in benefit.items():
+            value = float(value)
+            if validate and value < 0:
+                raise InvalidInstanceError(
+                    f"negative benefit coefficient c[{k!r},{v!r}] = {value}"
+                )
+            if k not in self._beneficiary_index:
+                raise InvalidInstanceError(f"unknown beneficiary {k!r} in benefit")
+            if v not in self._agent_index:
+                raise InvalidInstanceError(f"unknown agent {v!r} in benefit")
+            if value > 0:
+                self._c[(k, v)] = value
+
+        # Support sets.
+        resource_support: Dict[Resource, set] = {i: set() for i in self._resources}
+        agent_resources: Dict[Agent, set] = {v: set() for v in self._agents}
+        for (i, v) in self._a:
+            resource_support[i].add(v)
+            agent_resources[v].add(i)
+        beneficiary_support: Dict[Beneficiary, set] = {k: set() for k in self._beneficiaries}
+        agent_beneficiaries: Dict[Agent, set] = {v: set() for v in self._agents}
+        for (k, v) in self._c:
+            beneficiary_support[k].add(v)
+            agent_beneficiaries[v].add(k)
+
+        self._resource_support: Dict[Resource, FrozenSet[Agent]] = {
+            i: frozenset(s) for i, s in resource_support.items()
+        }
+        self._beneficiary_support: Dict[Beneficiary, FrozenSet[Agent]] = {
+            k: frozenset(s) for k, s in beneficiary_support.items()
+        }
+        self._agent_resources: Dict[Agent, FrozenSet[Resource]] = {
+            v: frozenset(s) for v, s in agent_resources.items()
+        }
+        self._agent_beneficiaries: Dict[Agent, FrozenSet[Beneficiary]] = {
+            v: frozenset(s) for v, s in agent_beneficiaries.items()
+        }
+
+        if validate:
+            self._validate()
+
+        self._A = self._build_matrix(
+            self._a, self._resource_index, len(self._resources)
+        )
+        self._C = self._build_matrix(
+            self._c, self._beneficiary_index, len(self._beneficiaries)
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_matrix(
+        self,
+        coeffs: Mapping[Tuple[Hashable, Agent], float],
+        row_index: Mapping[Hashable, int],
+        n_rows: int,
+    ) -> sp.csr_matrix:
+        rows = np.empty(len(coeffs), dtype=np.int64)
+        cols = np.empty(len(coeffs), dtype=np.int64)
+        data = np.empty(len(coeffs), dtype=np.float64)
+        for idx, ((r, v), value) in enumerate(coeffs.items()):
+            rows[idx] = row_index[r]
+            cols[idx] = self._agent_index[v]
+            data[idx] = value
+        return sp.csr_matrix(
+            (data, (rows, cols)), shape=(n_rows, len(self._agents)), dtype=np.float64
+        )
+
+    def _validate(self) -> None:
+        for v in self._agents:
+            if not self._agent_resources[v]:
+                raise InvalidInstanceError(
+                    f"agent {v!r} consumes no resource (I_v empty); "
+                    "the paper assumes I_v is non-empty so that x_v is bounded"
+                )
+        for i in self._resources:
+            if not self._resource_support[i]:
+                raise InvalidInstanceError(f"resource {i!r} has empty support V_i")
+        for k in self._beneficiaries:
+            if not self._beneficiary_support[k]:
+                raise InvalidInstanceError(f"beneficiary {k!r} has empty support V_k")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def agents(self) -> Tuple[Agent, ...]:
+        """The agent identifiers ``V`` in column order."""
+        return self._agents
+
+    @property
+    def resources(self) -> Tuple[Resource, ...]:
+        """The resource identifiers ``I`` in row order of :attr:`A`."""
+        return self._resources
+
+    @property
+    def beneficiaries(self) -> Tuple[Beneficiary, ...]:
+        """The beneficiary identifiers ``K`` in row order of :attr:`C`."""
+        return self._beneficiaries
+
+    @property
+    def n_agents(self) -> int:
+        return len(self._agents)
+
+    @property
+    def n_resources(self) -> int:
+        return len(self._resources)
+
+    @property
+    def n_beneficiaries(self) -> int:
+        return len(self._beneficiaries)
+
+    @property
+    def A(self) -> sp.csr_matrix:
+        """The ``|I| x |V|`` consumption matrix as a CSR sparse matrix."""
+        return self._A
+
+    @property
+    def C(self) -> sp.csr_matrix:
+        """The ``|K| x |V|`` benefit matrix as a CSR sparse matrix."""
+        return self._C
+
+    def agent_position(self, v: Agent) -> int:
+        """Return the column index of agent ``v``."""
+        return self._agent_index[v]
+
+    def resource_position(self, i: Resource) -> int:
+        """Return the row index of resource ``i`` in :attr:`A`."""
+        return self._resource_index[i]
+
+    def beneficiary_position(self, k: Beneficiary) -> int:
+        """Return the row index of beneficiary ``k`` in :attr:`C`."""
+        return self._beneficiary_index[k]
+
+    def consumption(self, i: Resource, v: Agent) -> float:
+        """The coefficient ``a_iv`` (zero if the pair is not in the support)."""
+        return self._a.get((i, v), 0.0)
+
+    def benefit(self, k: Beneficiary, v: Agent) -> float:
+        """The coefficient ``c_kv`` (zero if the pair is not in the support)."""
+        return self._c.get((k, v), 0.0)
+
+    def consumption_items(self) -> Iterable[Tuple[Tuple[Resource, Agent], float]]:
+        """Iterate over the non-zero ``((i, v), a_iv)`` pairs."""
+        return self._a.items()
+
+    def benefit_items(self) -> Iterable[Tuple[Tuple[Beneficiary, Agent], float]]:
+        """Iterate over the non-zero ``((k, v), c_kv)`` pairs."""
+        return self._c.items()
+
+    # ------------------------------------------------------------------
+    # Support sets (paper Section 1.2)
+    # ------------------------------------------------------------------
+    def resource_support(self, i: Resource) -> FrozenSet[Agent]:
+        """``V_i = {v : a_iv > 0}``."""
+        return self._resource_support[i]
+
+    def beneficiary_support(self, k: Beneficiary) -> FrozenSet[Agent]:
+        """``V_k = {v : c_kv > 0}``."""
+        return self._beneficiary_support[k]
+
+    def agent_resources(self, v: Agent) -> FrozenSet[Resource]:
+        """``I_v = {i : a_iv > 0}``."""
+        return self._agent_resources[v]
+
+    def agent_beneficiaries(self, v: Agent) -> FrozenSet[Beneficiary]:
+        """``K_v = {k : c_kv > 0}``."""
+        return self._agent_beneficiaries[v]
+
+    def degree_bounds(self) -> DegreeBounds:
+        """Compute the tight degree bounds of this instance."""
+        return DegreeBounds(
+            max_resource_support=max(
+                (len(s) for s in self._resource_support.values()), default=0
+            ),
+            max_beneficiary_support=max(
+                (len(s) for s in self._beneficiary_support.values()), default=0
+            ),
+            max_resources_per_agent=max(
+                (len(s) for s in self._agent_resources.values()), default=0
+            ),
+            max_beneficiaries_per_agent=max(
+                (len(s) for s in self._agent_beneficiaries.values()), default=0
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Vector conversions
+    # ------------------------------------------------------------------
+    def to_array(self, x: Mapping[Agent, float]) -> np.ndarray:
+        """Convert an agent-keyed mapping to a dense vector in column order.
+
+        Agents missing from ``x`` get the value 0.0; unknown keys raise
+        :class:`KeyError`.
+        """
+        vec = np.zeros(self.n_agents, dtype=np.float64)
+        for v, value in x.items():
+            vec[self._agent_index[v]] = float(value)
+        return vec
+
+    def from_array(self, vec: Sequence[float]) -> Dict[Agent, float]:
+        """Convert a dense vector in column order to an agent-keyed mapping."""
+        arr = np.asarray(vec, dtype=np.float64)
+        if arr.shape != (self.n_agents,):
+            raise ValueError(
+                f"expected a vector of length {self.n_agents}, got shape {arr.shape}"
+            )
+        return {v: float(arr[j]) for j, v in enumerate(self._agents)}
+
+    def _as_array(self, x) -> np.ndarray:
+        if isinstance(x, np.ndarray):
+            if x.shape != (self.n_agents,):
+                raise ValueError(
+                    f"expected a vector of length {self.n_agents}, got shape {x.shape}"
+                )
+            return x.astype(np.float64, copy=False)
+        return self.to_array(x)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def resource_usage(self, x) -> np.ndarray:
+        """Return the vector ``A x`` of resource usages (length ``|I|``)."""
+        return self._A @ self._as_array(x)
+
+    def benefits(self, x) -> np.ndarray:
+        """Return the vector ``C x`` of per-party benefits (length ``|K|``)."""
+        return self._C @ self._as_array(x)
+
+    def objective(self, x) -> float:
+        """The max-min objective ``ω(x) = min_k Σ_v c_kv x_v``.
+
+        Returns ``inf`` when the instance has no beneficiaries (the minimum
+        over an empty set).
+        """
+        if self.n_beneficiaries == 0:
+            return float("inf")
+        return float(self.benefits(x).min())
+
+    def is_feasible(self, x, *, tol: float = 1e-9) -> bool:
+        """Check ``A x <= 1 + tol`` and ``x >= -tol`` component-wise."""
+        arr = self._as_array(x)
+        if np.any(arr < -tol):
+            return False
+        if self.n_resources and np.any(self.resource_usage(arr) > 1.0 + tol):
+            return False
+        return True
+
+    def violation(self, x) -> float:
+        """Return the largest constraint violation (0.0 when feasible).
+
+        The value is ``max(max_i (A x)_i - 1, max_v -x_v, 0)``.
+        """
+        arr = self._as_array(x)
+        worst = 0.0
+        if arr.size:
+            worst = max(worst, float((-arr).max()))
+        if self.n_resources:
+            worst = max(worst, float((self.resource_usage(arr) - 1.0).max()))
+        return max(worst, 0.0)
+
+    # ------------------------------------------------------------------
+    # Sub-instances
+    # ------------------------------------------------------------------
+    def induced_subinstance(self, agents: Iterable[Agent]) -> "MaxMinLP":
+        """The sub-instance induced by a subset ``V' ⊆ V`` of agents.
+
+        Keeps exactly the resources with ``V_i ⊆ V'`` and the beneficiaries
+        with ``V_k ⊆ V'`` (this is how the adversarial instance ``S'`` of
+        Section 4.3 is carved out of ``S``).  Coefficients are unchanged.
+        """
+        keep = set(agents)
+        unknown = keep - set(self._agents)
+        if unknown:
+            raise KeyError(f"unknown agents in subset: {sorted(map(repr, unknown))}")
+        resources = [i for i in self._resources if self._resource_support[i] <= keep]
+        beneficiaries = [
+            k for k in self._beneficiaries if self._beneficiary_support[k] <= keep
+        ]
+        agents_kept = [v for v in self._agents if v in keep]
+        a = {
+            (i, v): self._a[(i, v)]
+            for i in resources
+            for v in self._resource_support[i]
+        }
+        c = {
+            (k, v): self._c[(k, v)]
+            for k in beneficiaries
+            for v in self._beneficiary_support[k]
+        }
+        return MaxMinLP(
+            agents_kept,
+            a,
+            c,
+            resources=resources,
+            beneficiaries=beneficiaries,
+            validate=False,
+        )
+
+    def local_subproblem(self, agents: Iterable[Agent]) -> "MaxMinLP":
+        """The *local* sub-problem over a view ``V^u ⊆ V`` of agents.
+
+        This is the LP (9) of Section 5.1: it keeps every resource ``i`` with
+        ``V_i ∩ V^u ≠ ∅`` but clips its support to ``V^u`` (the constraint
+        ``Σ_{v∈V_i^u} a_iv x_v ≤ 1``), and keeps only the beneficiaries fully
+        contained in the view (``K^u = {k : V_k ⊆ V^u}``).
+
+        The index sets of the sub-problem are ordered canonically (by the
+        ``repr`` of their identifiers) rather than inheriting this problem's
+        order.  This makes the sub-problem -- and therefore the LP handed to
+        the solver -- identical whether it is assembled centrally or from a
+        locally gathered view, which is what lets the distributed
+        implementation reproduce the centralised algorithm bit for bit.
+        """
+        keep = set(agents)
+        unknown = keep - set(self._agents)
+        if unknown:
+            raise KeyError(f"unknown agents in view: {sorted(map(repr, unknown))}")
+        agents_kept = sorted((v for v in self._agents if v in keep), key=repr)
+        resources = sorted(
+            (i for i in self._resources if self._resource_support[i] & keep), key=repr
+        )
+        beneficiaries = sorted(
+            (k for k in self._beneficiaries if self._beneficiary_support[k] <= keep),
+            key=repr,
+        )
+        a = {
+            (i, v): self._a[(i, v)]
+            for i in resources
+            for v in self._resource_support[i] & keep
+        }
+        c = {
+            (k, v): self._c[(k, v)]
+            for k in beneficiaries
+            for v in self._beneficiary_support[k]
+        }
+        return MaxMinLP(
+            agents_kept,
+            a,
+            c,
+            resources=resources,
+            beneficiaries=beneficiaries,
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MaxMinLP(n_agents={self.n_agents}, n_resources={self.n_resources}, "
+            f"n_beneficiaries={self.n_beneficiaries})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MaxMinLP):
+            return NotImplemented
+        return (
+            self._agents == other._agents
+            and self._resources == other._resources
+            and self._beneficiaries == other._beneficiaries
+            and self._a == other._a
+            and self._c == other._c
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._agents, self._resources, self._beneficiaries))
+
+
+@dataclass
+class MaxMinLPBuilder:
+    """Incrementally build a :class:`MaxMinLP` instance.
+
+    The builder is the convenient mutable counterpart of :class:`MaxMinLP`;
+    generators and applications use it to assemble instances before
+    compiling them with :meth:`build`.
+
+    Examples
+    --------
+    >>> b = MaxMinLPBuilder()
+    >>> b.set_consumption("i1", "v1", 1.0)
+    >>> b.set_consumption("i1", "v2", 1.0)
+    >>> b.set_benefit("k1", "v1", 1.0)
+    >>> b.set_benefit("k1", "v2", 1.0)
+    >>> problem = b.build()
+    >>> problem.n_agents
+    2
+    """
+
+    _agents: Dict[Agent, None] = field(default_factory=dict)
+    _resources: Dict[Resource, None] = field(default_factory=dict)
+    _beneficiaries: Dict[Beneficiary, None] = field(default_factory=dict)
+    _a: Dict[Tuple[Resource, Agent], float] = field(default_factory=dict)
+    _c: Dict[Tuple[Beneficiary, Agent], float] = field(default_factory=dict)
+
+    def add_agent(self, v: Agent) -> "MaxMinLPBuilder":
+        """Register an agent (idempotent).  Returns ``self`` for chaining."""
+        self._agents.setdefault(v, None)
+        return self
+
+    def add_resource(self, i: Resource) -> "MaxMinLPBuilder":
+        """Register a resource (idempotent)."""
+        self._resources.setdefault(i, None)
+        return self
+
+    def add_beneficiary(self, k: Beneficiary) -> "MaxMinLPBuilder":
+        """Register a beneficiary party (idempotent)."""
+        self._beneficiaries.setdefault(k, None)
+        return self
+
+    def set_consumption(self, i: Resource, v: Agent, a_iv: float) -> "MaxMinLPBuilder":
+        """Set ``a_iv``; registers ``i`` and ``v`` automatically."""
+        if a_iv < 0:
+            raise InvalidInstanceError(f"negative consumption a[{i!r},{v!r}] = {a_iv}")
+        self.add_resource(i)
+        self.add_agent(v)
+        if a_iv > 0:
+            self._a[(i, v)] = float(a_iv)
+        else:
+            self._a.pop((i, v), None)
+        return self
+
+    def set_benefit(self, k: Beneficiary, v: Agent, c_kv: float) -> "MaxMinLPBuilder":
+        """Set ``c_kv``; registers ``k`` and ``v`` automatically."""
+        if c_kv < 0:
+            raise InvalidInstanceError(f"negative benefit c[{k!r},{v!r}] = {c_kv}")
+        self.add_beneficiary(k)
+        self.add_agent(v)
+        if c_kv > 0:
+            self._c[(k, v)] = float(c_kv)
+        else:
+            self._c.pop((k, v), None)
+        return self
+
+    @property
+    def n_agents(self) -> int:
+        return len(self._agents)
+
+    def build(self, *, validate: bool = True) -> MaxMinLP:
+        """Compile the accumulated data into an immutable :class:`MaxMinLP`."""
+        return MaxMinLP(
+            list(self._agents),
+            dict(self._a),
+            dict(self._c),
+            resources=list(self._resources),
+            beneficiaries=list(self._beneficiaries),
+            validate=validate,
+        )

@@ -1,0 +1,63 @@
+"""The safe algorithm (Papadimitriou--Yannakakis), paper Section 4, eq. (2).
+
+Each agent ``v`` chooses
+
+.. math::
+
+    x_v = \\min_{i \\in I_v} \\frac{1}{a_{iv} \\, |V_i|}.
+
+The choice only requires radius-1 information (the agent must learn
+``|V_i|`` for each of its resources, which its neighbours can tell it in a
+single communication round), the solution is always feasible, and Section 4
+shows it is a ``Δ_I^V``-approximation of the max-min LP:
+
+.. math::
+
+    \\min_k \\sum_v c_{kv} x^*_v \\;\\le\\; \\Delta_I^V \\min_k \\sum_v c_{kv} x_v .
+
+This module implements the rule centrally; the distributed, message-passing
+version lives in :mod:`repro.distributed.programs`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .problem import Agent, MaxMinLP
+
+__all__ = ["safe_solution", "safe_value", "safe_approximation_guarantee"]
+
+
+def safe_value(problem: MaxMinLP, v: Agent) -> float:
+    """The safe activity ``x_v = min_{i ∈ I_v} 1 / (a_iv |V_i|)`` for one agent.
+
+    Agents with no resource constraints would be unbounded; the paper
+    excludes this case (``I_v`` non-empty), and for robustness such agents
+    get the value 0.0 here.
+    """
+    resources = problem.agent_resources(v)
+    if not resources:
+        return 0.0
+    return min(
+        1.0 / (problem.consumption(i, v) * len(problem.resource_support(i)))
+        for i in resources
+    )
+
+
+def safe_solution(problem: MaxMinLP) -> Dict[Agent, float]:
+    """The safe solution for every agent.
+
+    The solution is feasible for any instance: for a resource ``i``,
+    ``Σ_{v ∈ V_i} a_iv x_v ≤ Σ_{v ∈ V_i} a_iv / (a_iv |V_i|) = 1``.
+    """
+    return {v: safe_value(problem, v) for v in problem.agents}
+
+
+def safe_approximation_guarantee(problem: MaxMinLP) -> int:
+    """The guaranteed approximation ratio of the safe algorithm: ``Δ_I^V``.
+
+    This is the largest resource support size ``max_i |V_i|`` of the
+    instance (Section 4 shows the safe solution is within this factor of the
+    optimum).
+    """
+    return problem.degree_bounds().max_resource_support

@@ -1,0 +1,122 @@
+"""Solution handling: feasibility, objective value and approximation ratios.
+
+A *solution* of a max-min LP instance is simply a mapping from agents to
+non-negative activity levels ``x_v``; this module wraps such mappings with
+the quality measures used throughout the paper (Section 1.6):
+
+* feasibility with respect to the packing constraints ``A x <= 1``,
+* the objective ``ω(x) = min_k Σ_v c_kv x_v``,
+* the approximation ratio ``α = ω* / ω(x)`` against the global optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from .problem import Agent, MaxMinLP
+
+__all__ = ["SolutionReport", "evaluate_solution", "approximation_ratio"]
+
+
+@dataclass(frozen=True)
+class SolutionReport:
+    """A summary of the quality of a candidate solution.
+
+    Attributes
+    ----------
+    objective:
+        The value ``ω(x) = min_k Σ_v c_kv x_v`` (``inf`` when ``K`` is empty).
+    feasible:
+        Whether ``A x <= 1`` and ``x >= 0`` hold up to ``tol``.
+    violation:
+        Largest constraint violation (0.0 when feasible).
+    max_resource_usage:
+        ``max_i (A x)_i`` -- how close the tightest packing constraint is to 1.
+    min_benefit / max_benefit:
+        Extremes of the per-party benefit vector ``C x``.
+    ratio:
+        The approximation ratio ``ω* / ω(x)`` when an optimum is supplied,
+        otherwise ``None``.  By convention the ratio is ``1.0`` when both the
+        optimum and the achieved objective are zero, and ``inf`` when the
+        optimum is positive but the achieved objective is zero.
+    """
+
+    objective: float
+    feasible: bool
+    violation: float
+    max_resource_usage: float
+    min_benefit: float
+    max_benefit: float
+    ratio: Optional[float] = None
+    values: Dict[Agent, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.ratio is not None and self.ratio < 1.0 - 1e-9 and self.feasible:
+            # A feasible solution can never beat the optimum; a ratio below 1
+            # indicates the supplied "optimum" was not actually optimal.
+            raise ValueError(
+                f"approximation ratio {self.ratio} < 1 for a feasible solution; "
+                "the reference optimum is inconsistent"
+            )
+
+
+def approximation_ratio(optimum: float, achieved: float) -> float:
+    """The approximation ratio ``α = optimum / achieved`` (Section 1.6).
+
+    Both arguments are max-min objective values.  Degenerate cases follow the
+    natural conventions: ``0 / 0 = 1`` (the solution is as good as possible)
+    and ``positive / 0 = inf``.
+    """
+    if optimum < -1e-12 or achieved < -1e-12:
+        raise ValueError("objective values must be non-negative")
+    optimum = max(optimum, 0.0)
+    achieved = max(achieved, 0.0)
+    if optimum == 0.0:
+        return 1.0
+    if achieved == 0.0:
+        return float("inf")
+    return optimum / achieved
+
+
+def evaluate_solution(
+    problem: MaxMinLP,
+    x: Mapping[Agent, float],
+    *,
+    optimum: Optional[float] = None,
+    tol: float = 1e-9,
+) -> SolutionReport:
+    """Evaluate a candidate solution ``x`` against ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        The max-min LP instance.
+    x:
+        Mapping from agents to activity levels (missing agents count as 0).
+    optimum:
+        Optional reference optimum ``ω*``; when given, the report includes
+        the approximation ratio.
+    tol:
+        Feasibility tolerance.
+    """
+    arr = problem.to_array(x)
+    usage = problem.resource_usage(arr) if problem.n_resources else np.zeros(0)
+    benefits = problem.benefits(arr) if problem.n_beneficiaries else np.zeros(0)
+    objective = float(benefits.min()) if benefits.size else float("inf")
+    feasible = problem.is_feasible(arr, tol=tol)
+    ratio = None
+    if optimum is not None and np.isfinite(objective):
+        ratio = approximation_ratio(optimum, objective)
+    return SolutionReport(
+        objective=objective,
+        feasible=feasible,
+        violation=problem.violation(arr),
+        max_resource_usage=float(usage.max()) if usage.size else 0.0,
+        min_benefit=float(benefits.min()) if benefits.size else float("inf"),
+        max_benefit=float(benefits.max()) if benefits.size else float("inf"),
+        ratio=ratio,
+        values={v: float(arr[j]) for j, v in enumerate(problem.agents)},
+    )

@@ -1,0 +1,26 @@
+"""Distributed substrate: synchronous message passing and node programs.
+
+The subpackage turns the paper's distributed setting (Sections 1.4--1.5)
+into executable code: agents hold only their startup knowledge, exchange
+messages with their hypergraph neighbours in synchronous rounds, and output
+their activities after a constant number of rounds.  The paper's algorithms
+are provided as node programs and are verified (in the integration tests) to
+reproduce the centralised implementations exactly.
+"""
+
+from .knowledge import LocalKnowledge, initial_knowledge
+from .programs import KnowledgeFloodingProgram, LocalAveragingProgram, SafeProgram
+from .simulator import NodeProgram, SimulationResult, SynchronousSimulator
+from .views import LocalView
+
+__all__ = [
+    "LocalKnowledge",
+    "initial_knowledge",
+    "LocalView",
+    "NodeProgram",
+    "SimulationResult",
+    "SynchronousSimulator",
+    "KnowledgeFloodingProgram",
+    "SafeProgram",
+    "LocalAveragingProgram",
+]

@@ -1,0 +1,76 @@
+"""Initial local knowledge of the agents (paper Section 1.4).
+
+At system startup each agent ``v`` knows only:
+
+* the identity of its neighbours in the communication hypergraph ``H``,
+* its own support sets ``I_v`` and ``K_v``,
+* the coefficients ``a_iv`` (for ``i ∈ I_v``) and ``c_kv`` (for ``k ∈ K_v``).
+
+A local algorithm with horizon ``r`` may additionally use everything that
+was initially known to the agents within distance ``r`` -- which the
+message-passing simulator realises by flooding these knowledge records for
+``r`` synchronous rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from ..core.problem import Agent, Beneficiary, MaxMinLP, Resource
+from ..hypergraph.communication import communication_hypergraph
+from ..hypergraph.hypergraph import Hypergraph
+
+__all__ = ["LocalKnowledge", "initial_knowledge"]
+
+
+@dataclass(frozen=True)
+class LocalKnowledge:
+    """Everything one agent knows at startup.
+
+    Attributes
+    ----------
+    agent:
+        The agent's identifier (also serves as its locally unique name).
+    consumption:
+        ``{i: a_iv for i in I_v}``.
+    benefit:
+        ``{k: c_kv for k in K_v}``.
+    neighbours:
+        The agent's neighbours in the communication hypergraph ``H``.
+    """
+
+    agent: Agent
+    consumption: Dict[Resource, float]
+    benefit: Dict[Beneficiary, float]
+    neighbours: FrozenSet[Agent]
+
+    @property
+    def record_size(self) -> int:
+        """A crude size measure (number of scalar fields) used for message accounting."""
+        return 1 + len(self.consumption) + len(self.benefit) + len(self.neighbours)
+
+
+def initial_knowledge(
+    problem: MaxMinLP, hypergraph: Optional[Hypergraph] = None
+) -> Dict[Agent, LocalKnowledge]:
+    """Build the startup knowledge of every agent of ``problem``.
+
+    Parameters
+    ----------
+    problem:
+        The max-min LP instance.
+    hypergraph:
+        Optional pre-built communication hypergraph (the full variant is
+        built when omitted).
+    """
+    H = hypergraph if hypergraph is not None else communication_hypergraph(problem)
+    knowledge: Dict[Agent, LocalKnowledge] = {}
+    for v in problem.agents:
+        knowledge[v] = LocalKnowledge(
+            agent=v,
+            consumption={i: problem.consumption(i, v) for i in problem.agent_resources(v)},
+            benefit={k: problem.benefit(k, v) for k in problem.agent_beneficiaries(v)},
+            neighbours=H.neighbours(v),
+        )
+    return knowledge

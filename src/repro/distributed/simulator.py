@@ -1,0 +1,198 @@
+"""A synchronous message-passing simulator for local algorithms.
+
+The simulator realises the distributed setting of Sections 1.4--1.5: agents
+are the vertices of the communication hypergraph ``H``, they exchange
+messages with their ``H``-neighbours in synchronous rounds, and after a
+*constant* number of rounds every agent must output its activity ``x_v``.
+Because a local algorithm's horizon is a constant independent of the
+instance, the number of rounds, the per-node message volume and the per-node
+computation are all bounded by constants -- the LOCALITY experiment measures
+exactly that.
+
+The simulator is deterministic: given the instance, the hypergraph and the
+program, two runs produce identical results.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..core.problem import Agent, MaxMinLP
+from ..hypergraph.communication import communication_hypergraph
+from ..hypergraph.hypergraph import Hypergraph
+from .knowledge import LocalKnowledge, initial_knowledge
+
+__all__ = ["NodeProgram", "SimulationResult", "SynchronousSimulator"]
+
+
+class NodeProgram(abc.ABC):
+    """A node program: the code every agent runs on the simulator.
+
+    The life cycle per agent is ``initialise`` -> (``outgoing`` ->
+    ``receive``) x ``rounds`` -> ``finalise``.  The same program object is
+    shared by all agents, so per-agent data must live in the *state* object
+    returned by :meth:`initialise` (programs must not mutate attributes of
+    ``self`` during a run).
+    """
+
+    @property
+    @abc.abstractmethod
+    def rounds(self) -> int:
+        """Number of synchronous communication rounds the program needs."""
+
+    @abc.abstractmethod
+    def initialise(self, knowledge: LocalKnowledge) -> Any:
+        """Create the per-agent state from the agent's startup knowledge."""
+
+    @abc.abstractmethod
+    def outgoing(self, state: Any, round_index: int) -> Any:
+        """The payload broadcast to every neighbour this round (``None`` = silent)."""
+
+    @abc.abstractmethod
+    def receive(self, state: Any, round_index: int, inbox: Dict[Agent, Any]) -> None:
+        """Process the payloads received from neighbours this round."""
+
+    @abc.abstractmethod
+    def finalise(self, state: Any) -> float:
+        """Output the agent's activity ``x_v`` after the last round."""
+
+
+def _payload_size(payload: Any) -> int:
+    """A crude, deterministic size measure for message accounting."""
+    if payload is None:
+        return 0
+    if isinstance(payload, LocalKnowledge):
+        return payload.record_size
+    if isinstance(payload, dict):
+        return sum(_payload_size(value) for value in payload.values()) + len(payload)
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(_payload_size(value) for value in payload) + 1
+    return 1
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome and cost accounting of one simulated run.
+
+    Attributes
+    ----------
+    x:
+        The activities output by the agents.
+    rounds:
+        Number of communication rounds executed.
+    messages_sent:
+        Total number of point-to-point messages (a broadcast to ``deg(v)``
+        neighbours counts as ``deg(v)`` messages).
+    total_payload:
+        Sum of the payload size measure over all messages.
+    max_message_payload:
+        Largest single message payload.
+    objective:
+        The max-min objective achieved by ``x`` on the simulated instance.
+    feasible:
+        Whether ``x`` satisfies the packing constraints.
+    """
+
+    x: Dict[Agent, float]
+    rounds: int
+    messages_sent: int
+    total_payload: int
+    max_message_payload: int
+    objective: float
+    feasible: bool
+
+    @property
+    def average_payload_per_message(self) -> float:
+        if self.messages_sent == 0:
+            return 0.0
+        return self.total_payload / self.messages_sent
+
+
+class SynchronousSimulator:
+    """Run node programs on the communication hypergraph of an instance.
+
+    Parameters
+    ----------
+    problem:
+        The max-min LP instance to be solved distributedly.
+    hypergraph:
+        Optional pre-built communication hypergraph; by default the full
+        variant (resource and beneficiary hyperedges) is constructed.
+    collaboration_oblivious:
+        Build the restricted communication graph that only contains the
+        resource hyperedges (Section 1.4); ignored when ``hypergraph`` is
+        supplied.
+    """
+
+    def __init__(
+        self,
+        problem: MaxMinLP,
+        *,
+        hypergraph: Optional[Hypergraph] = None,
+        collaboration_oblivious: bool = False,
+    ) -> None:
+        self._problem = problem
+        self._hypergraph = (
+            hypergraph
+            if hypergraph is not None
+            else communication_hypergraph(
+                problem, collaboration_oblivious=collaboration_oblivious
+            )
+        )
+        self._knowledge = initial_knowledge(problem, self._hypergraph)
+
+    @property
+    def problem(self) -> MaxMinLP:
+        return self._problem
+
+    @property
+    def hypergraph(self) -> Hypergraph:
+        return self._hypergraph
+
+    def run(self, program: NodeProgram) -> SimulationResult:
+        """Execute ``program`` on every agent and collect the solution."""
+        agents = self._problem.agents
+        states: Dict[Agent, Any] = {
+            v: program.initialise(self._knowledge[v]) for v in agents
+        }
+
+        messages_sent = 0
+        total_payload = 0
+        max_payload = 0
+        n_rounds = program.rounds
+        for round_index in range(n_rounds):
+            outbox: Dict[Agent, Any] = {
+                v: program.outgoing(states[v], round_index) for v in agents
+            }
+            # Deliver: each non-None payload goes to every neighbour.
+            for v in agents:
+                payload = outbox[v]
+                if payload is None:
+                    continue
+                size = _payload_size(payload)
+                neighbours = self._hypergraph.neighbours(v)
+                messages_sent += len(neighbours)
+                total_payload += size * len(neighbours)
+                if neighbours:
+                    max_payload = max(max_payload, size)
+            for v in agents:
+                inbox = {
+                    u: outbox[u]
+                    for u in self._hypergraph.neighbours(v)
+                    if outbox[u] is not None
+                }
+                program.receive(states[v], round_index, inbox)
+
+        x = {v: float(program.finalise(states[v])) for v in agents}
+        arr = self._problem.to_array(x)
+        return SimulationResult(
+            x=x,
+            rounds=n_rounds,
+            messages_sent=messages_sent,
+            total_payload=total_payload,
+            max_message_payload=max_payload,
+            objective=self._problem.objective(arr),
+            feasible=self._problem.is_feasible(arr),
+        )

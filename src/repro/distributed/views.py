@@ -1,0 +1,119 @@
+"""Radius-r views assembled from flooded knowledge records.
+
+A :class:`LocalView` is what an agent ends up holding after ``r`` rounds of
+knowledge flooding on the synchronous simulator: the
+:class:`~repro.distributed.knowledge.LocalKnowledge` of every agent within
+distance ``r``.  The view exposes
+
+* the ball membership and distances (recomputed locally from the neighbour
+  lists contained in the records),
+* a *window instance* -- a :class:`~repro.core.problem.MaxMinLP` assembled
+  from the union of the known coefficient entries -- on which the node
+  program can run exactly the same code as the centralised algorithms.
+
+The window instance is constructed with canonically ordered index sets, so
+the LPs solved inside a view coincide bit-for-bit with the LPs the
+centralised implementation solves over the same agent sets (see
+``MaxMinLP.local_subproblem``); the integration tests rely on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Set
+
+from ..core.problem import Agent, MaxMinLP
+from .knowledge import LocalKnowledge
+
+__all__ = ["LocalView"]
+
+
+@dataclass(frozen=True)
+class LocalView:
+    """The radius-``r`` view of one agent.
+
+    Attributes
+    ----------
+    center:
+        The agent holding the view.
+    radius:
+        The gathering radius ``r``.
+    knowledge:
+        Mapping from every agent within distance ``r`` of the centre to its
+        startup knowledge.
+    """
+
+    center: Agent
+    radius: int
+    knowledge: Mapping[Agent, LocalKnowledge]
+
+    # ------------------------------------------------------------------
+    # Graph structure reconstructed from the records
+    # ------------------------------------------------------------------
+    def distances(self, source: Agent, *, cutoff: int) -> Dict[Agent, int]:
+        """BFS distances from ``source`` using only the neighbour lists in the view.
+
+        Distances are exact (equal to the global hypergraph distances) as
+        long as ``d(center, source) + cutoff ≤ radius + 1`` -- i.e. whenever
+        every shortest path involved stays inside the view; callers are
+        responsible for respecting that envelope (the node programs do).
+        """
+        if source not in self.knowledge:
+            raise KeyError(f"agent {source!r} is not inside this view")
+        dist: Dict[Agent, int] = {source: 0}
+        frontier: List[Agent] = [source]
+        d = 0
+        while frontier and d < cutoff:
+            d += 1
+            next_frontier: List[Agent] = []
+            for u in frontier:
+                record = self.knowledge.get(u)
+                if record is None:
+                    continue
+                for w in record.neighbours:
+                    if w not in dist and w in self.knowledge:
+                        dist[w] = d
+                        next_frontier.append(w)
+            frontier = next_frontier
+        return dist
+
+    def ball(self, source: Agent, radius: int) -> FrozenSet[Agent]:
+        """``B_H(source, radius)`` computed from the view's neighbour lists."""
+        return frozenset(self.distances(source, cutoff=radius))
+
+    # ------------------------------------------------------------------
+    # The window instance
+    # ------------------------------------------------------------------
+    def window_problem(self) -> MaxMinLP:
+        """A max-min LP instance over every agent in the view.
+
+        Resource and beneficiary supports are clipped to the view (only
+        coefficient entries of in-view agents are known); this is sufficient
+        for the node programs because they only ever query supports whose
+        members are guaranteed to lie inside the view.  Index sets are
+        ordered canonically (by ``repr``).
+        """
+        agents = sorted(self.knowledge, key=repr)
+        a: Dict = {}
+        c: Dict = {}
+        resources: Set = set()
+        beneficiaries: Set = set()
+        for v in agents:
+            record = self.knowledge[v]
+            for i, value in record.consumption.items():
+                a[(i, v)] = value
+                resources.add(i)
+            for k, value in record.benefit.items():
+                c[(k, v)] = value
+                beneficiaries.add(k)
+        return MaxMinLP(
+            agents,
+            a,
+            c,
+            resources=sorted(resources, key=repr),
+            beneficiaries=sorted(beneficiaries, key=repr),
+            validate=False,
+        )
+
+    def __len__(self) -> int:
+        return len(self.knowledge)

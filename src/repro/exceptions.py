@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures without masking programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "InfeasibleError",
+    "UnboundedError",
+    "SolverError",
+    "ConstructionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidInstanceError(ReproError):
+    """Raised when a max-min LP instance violates the paper's assumptions.
+
+    The paper (Section 1.2) assumes non-negative coefficients and non-empty
+    support sets ``I_v``, ``V_i`` and ``V_k``.  Builders raise this error when
+    a constructed instance would violate those assumptions (unless the check
+    is explicitly relaxed).
+    """
+
+
+class InfeasibleError(ReproError):
+    """Raised when a linear program has no feasible solution."""
+
+
+class UnboundedError(ReproError):
+    """Raised when a linear program is unbounded."""
+
+
+class SolverError(ReproError):
+    """Raised when an LP backend fails for reasons other than infeasibility."""
+
+
+class ConstructionError(ReproError):
+    """Raised when a combinatorial construction cannot be carried out.
+
+    Typical causes: requesting a high-girth regular bipartite graph with
+    parameters for which the randomised search did not converge, or invalid
+    parameters for the Section 4 lower-bound construction.
+    """

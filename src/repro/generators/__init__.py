@@ -1,0 +1,49 @@
+"""Instance and template-graph generators.
+
+Families provided:
+
+* grid / torus instances (:mod:`repro.generators.grid`) -- the bounded-growth
+  setting of Theorem 3,
+* path / cycle instances (:mod:`repro.generators.paths`) -- the smallest
+  support bounds (``Δ_I^V = 2``),
+* random bounded-degree instances (:mod:`repro.generators.random_instances`),
+* unit-disk geometric instances (:mod:`repro.generators.disk`),
+* regular bipartite graphs with girth guarantees
+  (:mod:`repro.generators.bipartite`) -- the template ``Q`` of the Section 4
+  lower-bound construction.
+"""
+
+from .bipartite import (
+    complete_bipartite_regular,
+    cycle_bipartite,
+    girth,
+    is_regular_bipartite,
+    projective_plane_incidence,
+    random_regular_bipartite,
+    regular_bipartite_with_girth,
+    sidon_circulant_bipartite,
+)
+from .disk import geometric_neighbourhoods, unit_disk_instance, unit_disk_points
+from .grid import grid_instance, grid_neighbours, torus_instance
+from .paths import cycle_instance, path_instance
+from .random_instances import random_bounded_degree_instance
+
+__all__ = [
+    "grid_instance",
+    "torus_instance",
+    "grid_neighbours",
+    "path_instance",
+    "cycle_instance",
+    "random_bounded_degree_instance",
+    "unit_disk_instance",
+    "unit_disk_points",
+    "geometric_neighbourhoods",
+    "girth",
+    "is_regular_bipartite",
+    "cycle_bipartite",
+    "complete_bipartite_regular",
+    "projective_plane_incidence",
+    "sidon_circulant_bipartite",
+    "random_regular_bipartite",
+    "regular_bipartite_with_girth",
+]

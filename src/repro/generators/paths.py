@@ -1,0 +1,80 @@
+"""Path and cycle instances with the smallest interesting support bounds.
+
+These one-dimensional families have ``Δ_I^V = 2`` (every resource is shared
+by exactly two agents, like an edge of a path/cycle), which is the boundary
+case of the paper's Theorem 1: for ``Δ_I^V = Δ_K^V = 2`` the existence of a
+local approximation scheme is left open, and on such bounded-growth graphs
+the Theorem 3 algorithm performs well.  They double as tiny, hand-checkable
+instances for the unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.problem import MaxMinLP, MaxMinLPBuilder
+
+__all__ = ["path_instance", "cycle_instance"]
+
+
+def path_instance(
+    n: int, *, weights: str = "unit", seed: Optional[int] = None
+) -> MaxMinLP:
+    """A path instance with ``n`` agents ``0, ..., n-1``.
+
+    Resources are the path edges (``("r", v)`` shared by agents ``v`` and
+    ``v+1``); every agent lies on at least one edge, so ``I_v`` is non-empty
+    as the paper assumes.  Beneficiaries ``("k", v)`` have the closed path
+    neighbourhood of ``v`` as support.
+    """
+    if n < 2:
+        raise ValueError("a path instance needs at least two agents")
+    if weights not in ("unit", "random"):
+        raise ValueError(f"unknown weights mode {weights!r}")
+    rng = np.random.default_rng(seed)
+
+    def coeff() -> float:
+        return 1.0 if weights == "unit" else float(rng.uniform(0.5, 1.5))
+
+    builder = MaxMinLPBuilder()
+    for v in range(n - 1):
+        builder.set_consumption(("r", v), v, coeff())
+        builder.set_consumption(("r", v), v + 1, coeff())
+    for v in range(n):
+        lo, hi = max(0, v - 1), min(n - 1, v + 1)
+        for u in range(lo, hi + 1):
+            builder.set_benefit(("k", v), u, coeff())
+    return builder.build()
+
+
+def cycle_instance(
+    n: int, *, weights: str = "unit", seed: Optional[int] = None
+) -> MaxMinLP:
+    """A cycle instance with ``n`` agents ``0, ..., n-1`` (indices mod ``n``).
+
+    Resources are the cycle edges; beneficiaries have the closed cycle
+    neighbourhood as support.  With unit weights the instance is
+    vertex-transitive, so its optimum has a closed form (each edge is shared
+    by two agents, so ``x_v = 1/2`` for all ``v`` is optimal and
+    ``ω* = 3/2``), which the unit tests exploit.
+    """
+    if n < 3:
+        raise ValueError("a cycle instance needs at least three agents")
+    if weights not in ("unit", "random"):
+        raise ValueError(f"unknown weights mode {weights!r}")
+    rng = np.random.default_rng(seed)
+
+    def coeff() -> float:
+        return 1.0 if weights == "unit" else float(rng.uniform(0.5, 1.5))
+
+    builder = MaxMinLPBuilder()
+    for v in range(n):
+        w = (v + 1) % n
+        builder.set_consumption(("r", v), v, coeff())
+        builder.set_consumption(("r", v), w, coeff())
+    for v in range(n):
+        for u in ((v - 1) % n, v, (v + 1) % n):
+            builder.set_benefit(("k", v), u, coeff())
+    return builder.build()

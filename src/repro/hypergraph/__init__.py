@@ -1,0 +1,26 @@
+"""Hypergraph substrate: communication structure, distances and growth.
+
+Provides the :class:`Hypergraph` type, the communication hypergraph of a
+max-min LP instance (full and collaboration-oblivious variants, Section 1.4)
+and the relative-growth machinery ``γ(r)`` of Section 5.
+"""
+
+from .communication import BeneficiaryEdge, ResourceEdge, communication_hypergraph
+from .growth import (
+    GrowthProfile,
+    growth_profile,
+    relative_growth,
+    theorem3_ratio_bound,
+)
+from .hypergraph import Hypergraph
+
+__all__ = [
+    "Hypergraph",
+    "communication_hypergraph",
+    "ResourceEdge",
+    "BeneficiaryEdge",
+    "GrowthProfile",
+    "growth_profile",
+    "relative_growth",
+    "theorem3_ratio_bound",
+]

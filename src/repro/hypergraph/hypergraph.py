@@ -1,0 +1,251 @@
+"""The hypergraph substrate used for the communication structure.
+
+Section 1.4 of the paper defines the communication hypergraph
+``H = (V, E)`` whose vertices are the agents and whose hyperedges are the
+support sets ``V_i`` (one per resource) and ``V_k`` (one per beneficiary).
+Two agents can communicate directly when they share a hyperedge, and
+``d_H(u, v)`` is the shortest-path distance in that sense, i.e. the number
+of hyperedges traversed on a shortest alternating vertex--hyperedge path.
+Equivalently, it is the ordinary graph distance in the *primal graph* (the
+clique expansion of ``H``), which is how this module computes it.
+
+The central primitives are the radius-``r`` balls ``B_H(v, r)`` (Section
+1.5) and breadth-first distance maps, both implemented with plain
+dictionary-based BFS -- the graphs in question are bounded-degree, so BFS
+touches ``O(|B_H(v, r)|)`` vertices and stays cheap even on large instances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+__all__ = ["Hypergraph"]
+
+Node = Hashable
+EdgeLabel = Hashable
+
+
+class Hypergraph:
+    """An undirected hypergraph with labelled hyperedges.
+
+    Parameters
+    ----------
+    nodes:
+        Iterable of vertex identifiers; vertices mentioned only inside edges
+        are added automatically.
+    edges:
+        Mapping from edge labels to iterables of member vertices, or an
+        iterable of ``(label, members)`` pairs.  Empty hyperedges are
+        rejected; singleton hyperedges are allowed (they contribute no
+        adjacency).
+    """
+
+    __slots__ = ("_nodes", "_edges", "_incident", "_adjacency")
+
+    def __init__(
+        self,
+        nodes: Iterable[Node] = (),
+        edges: Optional[
+            Mapping[EdgeLabel, Iterable[Node]]
+            | Iterable[Tuple[EdgeLabel, Iterable[Node]]]
+        ] = None,
+    ) -> None:
+        ordered: Dict[Node, None] = {}
+        for v in nodes:
+            ordered.setdefault(v, None)
+
+        edge_items: List[Tuple[EdgeLabel, FrozenSet[Node]]] = []
+        if edges is not None:
+            items = edges.items() if isinstance(edges, Mapping) else edges
+            for label, members in items:
+                members_set = frozenset(members)
+                if not members_set:
+                    raise ValueError(f"hyperedge {label!r} is empty")
+                edge_items.append((label, members_set))
+                for v in members_set:
+                    ordered.setdefault(v, None)
+
+        self._nodes: Tuple[Node, ...] = tuple(ordered)
+        self._edges: Dict[EdgeLabel, FrozenSet[Node]] = {}
+        for label, members in edge_items:
+            if label in self._edges:
+                raise ValueError(f"duplicate hyperedge label {label!r}")
+            self._edges[label] = members
+
+        self._incident: Dict[Node, Set[EdgeLabel]] = {v: set() for v in self._nodes}
+        self._adjacency: Dict[Node, Set[Node]] = {v: set() for v in self._nodes}
+        for label, members in self._edges.items():
+            for v in members:
+                self._incident[v].add(label)
+            member_list = list(members)
+            for a in member_list:
+                adjacency_a = self._adjacency[a]
+                for b in member_list:
+                    if a != b:
+                        adjacency_a.add(b)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """Vertices in insertion order."""
+        return self._nodes
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def edge_labels(self) -> Tuple[EdgeLabel, ...]:
+        """Labels of all hyperedges (insertion order)."""
+        return tuple(self._edges)
+
+    def edge_members(self, label: EdgeLabel) -> FrozenSet[Node]:
+        """The vertex set of the hyperedge with the given label."""
+        return self._edges[label]
+
+    def edges(self) -> Iterable[Tuple[EdgeLabel, FrozenSet[Node]]]:
+        """Iterate over ``(label, members)`` pairs."""
+        return self._edges.items()
+
+    def has_node(self, v: Node) -> bool:
+        return v in self._adjacency
+
+    def incident_edges(self, v: Node) -> FrozenSet[EdgeLabel]:
+        """Labels of the hyperedges containing ``v``."""
+        return frozenset(self._incident[v])
+
+    def neighbours(self, v: Node) -> FrozenSet[Node]:
+        """Vertices sharing at least one hyperedge with ``v`` (excluding ``v``)."""
+        return frozenset(self._adjacency[v])
+
+    def degree(self, v: Node) -> int:
+        """Number of distinct neighbours of ``v`` in the primal graph."""
+        return len(self._adjacency[v])
+
+    def max_degree(self) -> int:
+        """Maximum primal-graph degree over all vertices (0 for empty graphs)."""
+        return max((len(s) for s in self._adjacency.values()), default=0)
+
+    # ------------------------------------------------------------------
+    # Distances and balls
+    # ------------------------------------------------------------------
+    def distances_from(
+        self, source: Node, *, cutoff: Optional[int] = None
+    ) -> Dict[Node, int]:
+        """Breadth-first distance map from ``source``.
+
+        Parameters
+        ----------
+        source:
+            Start vertex.
+        cutoff:
+            When given, vertices farther than ``cutoff`` are omitted.
+        """
+        if source not in self._adjacency:
+            raise KeyError(f"unknown vertex {source!r}")
+        dist: Dict[Node, int] = {source: 0}
+        frontier: List[Node] = [source]
+        d = 0
+        while frontier and (cutoff is None or d < cutoff):
+            d += 1
+            next_frontier: List[Node] = []
+            for u in frontier:
+                for w in self._adjacency[u]:
+                    if w not in dist:
+                        dist[w] = d
+                        next_frontier.append(w)
+            frontier = next_frontier
+        return dist
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Shortest-path distance ``d_H(u, v)``; ``inf`` when disconnected."""
+        if u == v:
+            if u not in self._adjacency:
+                raise KeyError(f"unknown vertex {u!r}")
+            return 0
+        dist = self.distances_from(u)
+        return dist.get(v, float("inf"))
+
+    def ball(self, v: Node, radius: int) -> FrozenSet[Node]:
+        """The ball ``B_H(v, r) = {u : d_H(u, v) ≤ r}`` (Section 1.5)."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        return frozenset(self.distances_from(v, cutoff=radius))
+
+    def ball_sizes(self, v: Node, max_radius: int) -> List[int]:
+        """Sizes ``|B_H(v, r)|`` for ``r = 0, 1, ..., max_radius``."""
+        dist = self.distances_from(v, cutoff=max_radius)
+        sizes = [0] * (max_radius + 1)
+        for d in dist.values():
+            sizes[d] += 1
+        # prefix sums: ball of radius r contains all vertices at distance <= r
+        for r in range(1, max_radius + 1):
+            sizes[r] += sizes[r - 1]
+        return sizes
+
+    def is_connected(self) -> bool:
+        """Whether the primal graph is connected (empty graphs count as connected)."""
+        if not self._nodes:
+            return True
+        return len(self.distances_from(self._nodes[0])) == len(self._nodes)
+
+    def connected_components(self) -> List[FrozenSet[Node]]:
+        """The vertex sets of the primal graph's connected components."""
+        seen: Set[Node] = set()
+        components: List[FrozenSet[Node]] = []
+        for v in self._nodes:
+            if v in seen:
+                continue
+            comp = frozenset(self.distances_from(v))
+            seen |= comp
+            components.append(comp)
+        return components
+
+    def diameter(self) -> float:
+        """Primal-graph diameter; ``inf`` when disconnected, 0 for ≤1 vertex."""
+        if len(self._nodes) <= 1:
+            return 0
+        worst = 0
+        for v in self._nodes:
+            dist = self.distances_from(v)
+            if len(dist) != len(self._nodes):
+                return float("inf")
+            worst = max(worst, max(dist.values()))
+        return worst
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def induced_subhypergraph(self, keep: Iterable[Node]) -> "Hypergraph":
+        """The sub-hypergraph on ``keep`` containing the fully included hyperedges."""
+        keep_set = set(keep)
+        nodes = [v for v in self._nodes if v in keep_set]
+        edges = {
+            label: members
+            for label, members in self._edges.items()
+            if members <= keep_set
+        }
+        return Hypergraph(nodes, edges)
+
+    def primal_adjacency(self) -> Dict[Node, FrozenSet[Node]]:
+        """The full primal-graph adjacency as an immutable mapping."""
+        return {v: frozenset(s) for v, s in self._adjacency.items()}
+
+    def to_networkx(self):
+        """The primal graph as a :class:`networkx.Graph` (for interoperability)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(self._nodes)
+        for v, nbrs in self._adjacency.items():
+            for w in nbrs:
+                g.add_edge(v, w)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Hypergraph(n_nodes={self.n_nodes}, n_edges={self.n_edges})"

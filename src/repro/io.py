@@ -1,0 +1,112 @@
+"""JSON (de)serialisation of instances and solutions.
+
+Max-min LP instances are plain combinatorial data (index sets plus sparse
+coefficient maps), so they serialise naturally to JSON.  Identifiers are
+stored via a small tagged encoding that round-trips the identifier types the
+library itself produces (strings, integers, and arbitrarily nested tuples of
+those -- every generator and application in this package uses only such
+identifiers).
+
+Typical uses: caching generated instances between benchmark runs, shipping a
+failing instance into a bug report, and the round-trip property tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Union
+
+from .core.problem import MaxMinLP
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "dump_instance",
+    "load_instance",
+    "solution_to_dict",
+    "solution_from_dict",
+]
+
+
+def _encode_id(value: Any) -> Any:
+    """Encode an identifier as JSON-safe data (tuples become tagged lists)."""
+    if isinstance(value, tuple):
+        return {"t": [_encode_id(item) for item in value]}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"cannot serialise identifier {value!r} of type {type(value).__name__}; "
+        "use strings, numbers or (nested) tuples of those"
+    )
+
+
+def _decode_id(value: Any) -> Any:
+    """Inverse of :func:`_encode_id`."""
+    if isinstance(value, dict) and set(value) == {"t"}:
+        return tuple(_decode_id(item) for item in value["t"])
+    return value
+
+
+def instance_to_dict(problem: MaxMinLP) -> Dict[str, Any]:
+    """Convert an instance to a JSON-serialisable dictionary."""
+    return {
+        "format": "repro.maxminlp",
+        "version": 1,
+        "agents": [_encode_id(v) for v in problem.agents],
+        "resources": [_encode_id(i) for i in problem.resources],
+        "beneficiaries": [_encode_id(k) for k in problem.beneficiaries],
+        "consumption": [
+            {"i": _encode_id(i), "v": _encode_id(v), "a": value}
+            for (i, v), value in problem.consumption_items()
+        ],
+        "benefit": [
+            {"k": _encode_id(k), "v": _encode_id(v), "c": value}
+            for (k, v), value in problem.benefit_items()
+        ],
+    }
+
+
+def instance_from_dict(data: Mapping[str, Any], *, validate: bool = True) -> MaxMinLP:
+    """Rebuild an instance from :func:`instance_to_dict` output."""
+    if data.get("format") != "repro.maxminlp":
+        raise ValueError("not a serialised max-min LP instance")
+    agents = [_decode_id(v) for v in data["agents"]]
+    resources = [_decode_id(i) for i in data["resources"]]
+    beneficiaries = [_decode_id(k) for k in data["beneficiaries"]]
+    consumption = {
+        (_decode_id(entry["i"]), _decode_id(entry["v"])): float(entry["a"])
+        for entry in data["consumption"]
+    }
+    benefit = {
+        (_decode_id(entry["k"]), _decode_id(entry["v"])): float(entry["c"])
+        for entry in data["benefit"]
+    }
+    return MaxMinLP(
+        agents,
+        consumption,
+        benefit,
+        resources=resources,
+        beneficiaries=beneficiaries,
+        validate=validate,
+    )
+
+
+def dump_instance(problem: MaxMinLP, path: Union[str, Path]) -> None:
+    """Write an instance to a JSON file."""
+    Path(path).write_text(json.dumps(instance_to_dict(problem), indent=2))
+
+
+def load_instance(path: Union[str, Path], *, validate: bool = True) -> MaxMinLP:
+    """Read an instance from a JSON file."""
+    return instance_from_dict(json.loads(Path(path).read_text()), validate=validate)
+
+
+def solution_to_dict(x: Mapping[Any, float]) -> List[Dict[str, Any]]:
+    """Convert a solution mapping to JSON-serialisable data."""
+    return [{"v": _encode_id(v), "x": float(value)} for v, value in x.items()]
+
+
+def solution_from_dict(data: List[Mapping[str, Any]]) -> Dict[Any, float]:
+    """Inverse of :func:`solution_to_dict`."""
+    return {_decode_id(entry["v"]): float(entry["x"]) for entry in data}

@@ -1,0 +1,53 @@
+"""The Section 4 lower-bound construction and inapproximability bounds.
+
+Contents:
+
+* :mod:`repro.lowerbound.hypertree` -- complete (d, D)-ary hypertrees,
+* :mod:`repro.lowerbound.construction` -- the instance ``S``, the adversarial
+  restriction ``S′`` and the feasible witness,
+* :mod:`repro.lowerbound.bounds` -- the closed-form bounds of Theorem 1,
+  Corollary 2 and the finite-``R`` inequality,
+* :mod:`repro.lowerbound.adversary` -- harness that measures concrete local
+  algorithms against the construction,
+* :mod:`repro.lowerbound.proof_trace` -- an executable trace of the
+  Section 4.6 level-sum counting argument.
+"""
+
+from .adversary import (
+    AdversaryReport,
+    LocalAlgorithm,
+    greedy_uniform_algorithm,
+    local_averaging_algorithm,
+    run_adversary,
+    safe_algorithm,
+)
+from .bounds import corollary2_bound, finite_R_bound, safe_upper_bound, theorem1_bound
+from .construction import (
+    AdversarialSubinstance,
+    LowerBoundInstance,
+    build_lower_bound_instance,
+)
+from .hypertree import HyperTree, HyperTreeEdge, complete_hypertree, level_size
+from .proof_trace import ProofTrace, section46_trace
+
+__all__ = [
+    "HyperTree",
+    "HyperTreeEdge",
+    "complete_hypertree",
+    "level_size",
+    "LowerBoundInstance",
+    "AdversarialSubinstance",
+    "build_lower_bound_instance",
+    "theorem1_bound",
+    "corollary2_bound",
+    "finite_R_bound",
+    "safe_upper_bound",
+    "AdversaryReport",
+    "LocalAlgorithm",
+    "run_adversary",
+    "safe_algorithm",
+    "local_averaging_algorithm",
+    "greedy_uniform_algorithm",
+    "ProofTrace",
+    "section46_trace",
+]

@@ -1,0 +1,80 @@
+"""Closed-form inapproximability bounds of Section 4.
+
+Three quantities are provided:
+
+* :func:`theorem1_bound` -- Theorem 1: no local algorithm achieves a ratio
+  below ``Δ_I^V/2 + 1/2 − 1/(2Δ_K^V − 2)``;
+* :func:`corollary2_bound` -- Corollary 2 (the ``D = 1`` specialisation):
+  no ratio below ``Δ_I^V / 2`` even with 0/1 benefit coefficients;
+* :func:`finite_R_bound` -- the exact finite-``R`` inequality derived at the
+  end of Section 4.6,
+
+  .. math::
+
+     \\alpha \\;\\ge\\; \\frac{d}{2} + 1 - \\frac{1}{2D}
+        + \\frac{d + 2 - 2dD - 1/D}{2 d^R D^R - 2},
+
+  which converges to the Theorem 1 bound as ``R → ∞`` and is what a finite
+  experimental construction can actually certify.
+"""
+
+from __future__ import annotations
+
+__all__ = ["theorem1_bound", "corollary2_bound", "finite_R_bound", "safe_upper_bound"]
+
+
+def theorem1_bound(delta_VI: int, delta_VK: int) -> float:
+    """The Theorem 1 lower bound on the approximation ratio.
+
+    Parameters
+    ----------
+    delta_VI:
+        The bound ``Δ_I^V`` on resource support sizes (``≥ 2``).
+    delta_VK:
+        The bound ``Δ_K^V`` on beneficiary support sizes (``≥ 2``).
+
+    Returns
+    -------
+    float
+        ``Δ_I^V/2 + 1/2 − 1/(2Δ_K^V − 2)``.  For ``Δ_I^V = Δ_K^V = 2`` the
+        expression equals 1 (the trivial bound; the existence of a local
+        approximation scheme in that corner is open).
+    """
+    if delta_VI < 2 or delta_VK < 2:
+        raise ValueError("Theorem 1 requires Δ_I^V ≥ 2 and Δ_K^V ≥ 2")
+    return delta_VI / 2.0 + 0.5 - 1.0 / (2.0 * delta_VK - 2.0)
+
+
+def corollary2_bound(delta_VI: int) -> float:
+    """The Corollary 2 lower bound ``Δ_I^V / 2`` (requires ``Δ_I^V > 2``)."""
+    if delta_VI <= 2:
+        raise ValueError("Corollary 2 requires Δ_I^V > 2")
+    return delta_VI / 2.0
+
+
+def finite_R_bound(d: int, D: int, R: int) -> float:
+    """The finite-``R`` bound from the end of the Theorem 1 proof.
+
+    ``d = Δ_I^V − 1`` and ``D = Δ_K^V − 1`` are the hypertree branching
+    factors and ``R`` the half-height parameter of the construction; the
+    bound requires ``d·D > 1`` and tends to :func:`theorem1_bound` from below
+    as ``R`` grows.
+    """
+    if d < 1 or D < 1 or d * D <= 1:
+        raise ValueError("the construction requires d ≥ 1, D ≥ 1 and d·D > 1")
+    if R < 1:
+        raise ValueError("R must be at least 1")
+    main = d / 2.0 + 1.0 - 1.0 / (2.0 * D)
+    correction = (d + 2.0 - 2.0 * d * D - 1.0 / D) / (2.0 * (d ** R) * (D ** R) - 2.0)
+    return main + correction
+
+
+def safe_upper_bound(delta_VI: int) -> float:
+    """The safe algorithm's guarantee ``Δ_I^V`` (Section 4, first paragraph).
+
+    Together with Theorem 1 this shows the safe algorithm is within a factor
+    of (roughly) two of the best any local algorithm can do.
+    """
+    if delta_VI < 1:
+        raise ValueError("Δ_I^V must be at least 1")
+    return float(delta_VI)

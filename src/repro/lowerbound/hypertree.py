@@ -1,0 +1,162 @@
+"""Complete (d, D)-ary hypertrees (paper Section 4.2).
+
+A complete ``(d, D)``-ary hypertree of height ``h`` is defined inductively:
+height 0 is a single node (level 0); to go from height ``h-1`` to ``h``, every
+node ``v`` at level ``h-1`` gets one new hyperedge containing ``v`` and
+
+* ``d`` new nodes when ``h-1`` is even (a *type I* hyperedge -- these become
+  the resources of the lower-bound instance), or
+* ``D`` new nodes when ``h-1`` is odd (a *type II* hyperedge -- these become
+  beneficiary parties with coefficients ``1/D``).
+
+The new nodes sit at level ``h``.  Level ``ℓ`` of the finished hypertree has
+``(dD)^{ℓ/2}`` nodes when ``ℓ`` is even and ``(dD)^{(ℓ-1)/2}·d`` nodes when
+``ℓ`` is odd; in particular the hypertree of height ``2R-1`` used by the
+construction has ``d^R·D^{R-1}`` leaves, matching the degree of the template
+graph ``Q``.
+
+Nodes are identified by their path from the root: the root is the empty
+tuple ``()`` and the ``c``-th child of node ``p`` is ``p + (c,)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+__all__ = ["HyperTreeEdge", "HyperTree", "complete_hypertree", "level_size"]
+
+NodeId = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class HyperTreeEdge:
+    """One hyperedge of a hypertree.
+
+    Attributes
+    ----------
+    kind:
+        ``"I"`` (parent at an even level, ``d`` children) or ``"II"``
+        (parent at an odd level, ``D`` children).
+    parent:
+        The node at the lower level contained in the hyperedge.
+    members:
+        All nodes of the hyperedge (the parent and its children).
+    """
+
+    kind: str
+    parent: NodeId
+    members: FrozenSet[NodeId]
+
+    @property
+    def children(self) -> FrozenSet[NodeId]:
+        """The member nodes other than the parent."""
+        return self.members - {self.parent}
+
+
+@dataclass(frozen=True)
+class HyperTree:
+    """A complete (d, D)-ary hypertree.
+
+    Attributes
+    ----------
+    d, D:
+        Branching factors from even and odd levels respectively.
+    height:
+        Height of the hypertree (the level of the leaves).
+    nodes:
+        All node identifiers, in breadth-first (level) order.
+    levels:
+        Mapping from node to its level.
+    edges:
+        All hyperedges (type I and II) in creation order.
+    """
+
+    d: int
+    D: int
+    height: int
+    nodes: Tuple[NodeId, ...]
+    levels: Dict[NodeId, int]
+    edges: Tuple[HyperTreeEdge, ...]
+
+    @property
+    def root(self) -> NodeId:
+        return ()
+
+    @property
+    def leaves(self) -> Tuple[NodeId, ...]:
+        """Nodes at the maximum level, in lexicographic (BFS) order."""
+        return tuple(v for v in self.nodes if self.levels[v] == self.height)
+
+    def nodes_at_level(self, level: int) -> Tuple[NodeId, ...]:
+        """All nodes at the given level, in BFS order."""
+        return tuple(v for v in self.nodes if self.levels[v] == level)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+
+def level_size(d: int, D: int, level: int) -> int:
+    """The number of nodes at ``level`` in a complete (d, D)-ary hypertree.
+
+    ``(dD)^{ℓ/2}`` for even ``ℓ`` and ``(dD)^{(ℓ-1)/2}·d`` for odd ``ℓ``
+    (paper Section 4.2).
+    """
+    if level < 0:
+        raise ValueError("level must be non-negative")
+    if level % 2 == 0:
+        return (d * D) ** (level // 2)
+    return ((d * D) ** ((level - 1) // 2)) * d
+
+
+def complete_hypertree(d: int, D: int, height: int) -> HyperTree:
+    """Build the complete (d, D)-ary hypertree of the given height.
+
+    Parameters
+    ----------
+    d:
+        Number of children added below an even-level node (``d = Δ_I^V - 1``
+        in the lower-bound construction).
+    D:
+        Number of children added below an odd-level node (``D = Δ_K^V - 1``).
+    height:
+        Height of the hypertree (0 gives the single root node).
+    """
+    if d < 1 or D < 1:
+        raise ValueError("branching factors d and D must be at least 1")
+    if height < 0:
+        raise ValueError("height must be non-negative")
+
+    nodes: List[NodeId] = [()]
+    levels: Dict[NodeId, int] = {(): 0}
+    edges: List[HyperTreeEdge] = []
+    current_level: List[NodeId] = [()]
+
+    for level in range(height):
+        branching = d if level % 2 == 0 else D
+        kind = "I" if level % 2 == 0 else "II"
+        next_level: List[NodeId] = []
+        for parent in current_level:
+            children = [parent + (c,) for c in range(branching)]
+            for child in children:
+                nodes.append(child)
+                levels[child] = level + 1
+                next_level.append(child)
+            edges.append(
+                HyperTreeEdge(
+                    kind=kind,
+                    parent=parent,
+                    members=frozenset([parent, *children]),
+                )
+            )
+        current_level = next_level
+
+    return HyperTree(
+        d=d,
+        D=D,
+        height=height,
+        nodes=tuple(nodes),
+        levels=levels,
+        edges=tuple(edges),
+    )

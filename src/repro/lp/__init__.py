@@ -1,0 +1,35 @@
+"""Linear-programming substrate.
+
+Provides the LP description (:class:`LinearProgram`), the solver backends
+(SciPy/HiGHS and a from-scratch two-phase simplex), the Section 1.3 max-min
+reduction, a bisection solver based on feasibility subproblems and a
+multiplicative-weights approximate solver.
+"""
+
+from .backends import DEFAULT_BACKEND, available_backends, solve_lp
+from .maxmin import (
+    MaxMinSolveResult,
+    maxmin_to_lp,
+    solve_max_min,
+    solve_max_min_bisection,
+)
+from .mwu import MWUResult, mwu_feasibility, solve_max_min_mwu
+from .simplex import solve_simplex
+from .standard import LinearProgram, LPResult, LPStatus
+
+__all__ = [
+    "LinearProgram",
+    "LPResult",
+    "LPStatus",
+    "solve_lp",
+    "solve_simplex",
+    "available_backends",
+    "DEFAULT_BACKEND",
+    "MaxMinSolveResult",
+    "maxmin_to_lp",
+    "solve_max_min",
+    "solve_max_min_bisection",
+    "MWUResult",
+    "mwu_feasibility",
+    "solve_max_min_mwu",
+]

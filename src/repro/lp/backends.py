@@ -1,0 +1,81 @@
+"""LP solver backends and the backend dispatch function.
+
+Two backends are provided:
+
+``"scipy"``
+    SciPy's :func:`scipy.optimize.linprog` with the HiGHS solver -- the
+    default, used for the reference optimum and the per-agent local LPs.
+``"simplex"``
+    The from-scratch dense simplex of :mod:`repro.lp.simplex`, used to
+    cross-validate the default backend and as a dependency-free fallback.
+
+Both accept the same :class:`repro.lp.standard.LinearProgram` description and
+return a :class:`repro.lp.standard.LPResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..exceptions import SolverError
+from .simplex import solve_simplex
+from .standard import LinearProgram, LPResult, LPStatus
+
+__all__ = ["solve_lp", "available_backends", "DEFAULT_BACKEND"]
+
+DEFAULT_BACKEND = "scipy"
+
+
+def _solve_scipy(lp: LinearProgram) -> LPResult:
+    result = linprog(
+        c=lp.c,
+        A_ub=lp.A_ub,
+        b_ub=lp.b_ub,
+        A_eq=lp.A_eq,
+        b_eq=lp.b_eq,
+        bounds=lp.bounds,
+        method="highs",
+    )
+    if result.status == 0:
+        return LPResult(
+            LPStatus.OPTIMAL,
+            np.asarray(result.x, dtype=np.float64),
+            float(result.fun),
+            backend="scipy",
+        )
+    if result.status == 2:
+        return LPResult(LPStatus.INFEASIBLE, None, None, backend="scipy")
+    if result.status == 3:
+        return LPResult(LPStatus.UNBOUNDED, None, None, backend="scipy")
+    return LPResult(LPStatus.ERROR, None, None, backend="scipy")
+
+
+_BACKENDS: Dict[str, Callable[[LinearProgram], LPResult]] = {
+    "scipy": _solve_scipy,
+    "simplex": solve_simplex,
+}
+
+
+def available_backends() -> tuple:
+    """Names of the registered LP backends."""
+    return tuple(_BACKENDS)
+
+
+def solve_lp(lp: LinearProgram, *, backend: str = DEFAULT_BACKEND) -> LPResult:
+    """Solve a :class:`LinearProgram` with the named backend.
+
+    Raises
+    ------
+    SolverError
+        If the backend name is unknown.
+    """
+    try:
+        solver = _BACKENDS[backend]
+    except KeyError:
+        raise SolverError(
+            f"unknown LP backend {backend!r}; available: {sorted(_BACKENDS)}"
+        ) from None
+    return solver(lp)

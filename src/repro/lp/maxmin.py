@@ -1,0 +1,209 @@
+"""Reductions from the max-min LP to ordinary linear programs.
+
+Section 1.3 of the paper observes that for finite index sets the max-min
+problem
+
+.. math::
+
+    \\max \\; \\omega = \\min_k c_k x \\quad\\text{s.t.}\\quad Ax \\le 1,\\; x \\ge 0
+
+can be written as the LP ``max ω  s.t.  Ax ≤ 1, ω·1 − Cx ≤ 0, x ≥ 0`` whose
+constraint matrix is no longer non-negative.  This module implements that
+reduction (:func:`maxmin_to_lp`, :func:`solve_max_min`) plus an alternative
+bisection scheme (:func:`solve_max_min_bisection`) that only ever solves
+non-negative *packing feasibility* subproblems -- useful both as a
+cross-check and as the shape of solver that distributed/approximate methods
+(e.g. the multiplicative-weights solver in :mod:`repro.lp.mwu`) can mimic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.problem import Agent, MaxMinLP
+from ..exceptions import InfeasibleError, SolverError, UnboundedError
+from .backends import DEFAULT_BACKEND, solve_lp
+from .standard import LinearProgram, LPStatus
+
+__all__ = [
+    "MaxMinSolveResult",
+    "maxmin_to_lp",
+    "solve_max_min",
+    "solve_max_min_bisection",
+]
+
+
+@dataclass(frozen=True)
+class MaxMinSolveResult:
+    """Result of an exact (or bisection) max-min LP solve.
+
+    Attributes
+    ----------
+    objective:
+        The optimal value ``ω*``; ``inf`` when the instance has no
+        beneficiaries, ``0.0`` for trivially zero instances.
+    x:
+        Optimal activities keyed by agent.
+    backend:
+        LP backend used.
+    """
+
+    objective: float
+    x: Dict[Agent, float]
+    backend: str
+
+
+def maxmin_to_lp(problem: MaxMinLP) -> LinearProgram:
+    """Build the LP reduction of Section 1.3 for ``problem``.
+
+    The LP has variables ``(x_1, ..., x_n, ω)`` and minimises ``-ω`` subject
+    to ``A x ≤ 1`` and ``ω·1 − C x ≤ 0`` with all variables non-negative.
+    """
+    n = problem.n_agents
+    n_i = problem.n_resources
+    n_k = problem.n_beneficiaries
+    A = problem.A.toarray() if n_i else np.zeros((0, n))
+    C = problem.C.toarray() if n_k else np.zeros((0, n))
+
+    # Rows: [A | 0] x ≤ 1 and [-C | 1] (x, ω) ≤ 0.
+    top = np.hstack([A, np.zeros((n_i, 1))])
+    bottom = np.hstack([-C, np.ones((n_k, 1))])
+    A_ub = np.vstack([top, bottom]) if (n_i + n_k) else None
+    b_ub = (
+        np.concatenate([np.ones(n_i), np.zeros(n_k)]) if (n_i + n_k) else None
+    )
+    c = np.zeros(n + 1)
+    c[-1] = -1.0  # maximise ω
+    bounds = [(0.0, None)] * (n + 1)
+    return LinearProgram(c=c, A_ub=A_ub, b_ub=b_ub, bounds=bounds)
+
+
+def solve_max_min(
+    problem: MaxMinLP, *, backend: str = DEFAULT_BACKEND
+) -> MaxMinSolveResult:
+    """Solve ``problem`` exactly through the LP reduction.
+
+    Raises
+    ------
+    UnboundedError
+        If the instance has no beneficiaries (``ω`` is unbounded above) --
+        callers that allow this case should check ``n_beneficiaries`` first.
+    SolverError
+        If the backend fails.
+    """
+    if problem.n_beneficiaries == 0:
+        raise UnboundedError(
+            "the max-min objective is unbounded when there are no beneficiaries"
+        )
+    if problem.n_agents == 0:
+        return MaxMinSolveResult(objective=0.0, x={}, backend=backend)
+    lp = maxmin_to_lp(problem)
+    result = solve_lp(lp, backend=backend)
+    if result.status is LPStatus.UNBOUNDED:
+        raise UnboundedError("max-min LP reduction reported unbounded")
+    if result.status is LPStatus.INFEASIBLE:
+        # x = 0 is always feasible for a packing system, so this cannot
+        # happen for a well-formed instance.
+        raise InfeasibleError("max-min LP reduction reported infeasible")
+    if not result.is_optimal or result.x is None:
+        raise SolverError(f"LP backend {backend!r} failed: {result.status}")
+    x_vec = np.clip(result.x[:-1], 0.0, None)
+    omega = float(result.x[-1])
+    return MaxMinSolveResult(
+        objective=omega, x=problem.from_array(x_vec), backend=backend
+    )
+
+
+def _packing_feasible_for_target(
+    problem: MaxMinLP, target: float, *, backend: str
+) -> Tuple[bool, Optional[np.ndarray]]:
+    """Check whether some ``x ≥ 0`` has ``A x ≤ 1`` and ``C x ≥ target``.
+
+    The check is itself an LP: minimise the maximum resource usage subject to
+    the benefit constraints, then compare the optimum against 1.
+    """
+    n = problem.n_agents
+    n_i = problem.n_resources
+    n_k = problem.n_beneficiaries
+    A = problem.A.toarray() if n_i else np.zeros((0, n))
+    C = problem.C.toarray() if n_k else np.zeros((0, n))
+    # Variables (x, t): minimise t  s.t.  A x - t·1 ≤ 0,  -C x ≤ -target.
+    top = np.hstack([A, -np.ones((n_i, 1))])
+    bottom = np.hstack([-C, np.zeros((n_k, 1))])
+    A_ub = np.vstack([top, bottom])
+    b_ub = np.concatenate([np.zeros(n_i), -np.full(n_k, target)])
+    c = np.zeros(n + 1)
+    c[-1] = 1.0
+    lp = LinearProgram(c=c, A_ub=A_ub, b_ub=b_ub, bounds=[(0.0, None)] * (n + 1))
+    result = solve_lp(lp, backend=backend)
+    if not result.is_optimal or result.x is None:
+        return False, None
+    t = float(result.x[-1])
+    if t <= 1.0 + 1e-9:
+        return True, np.clip(result.x[:-1], 0.0, None)
+    return False, None
+
+
+def solve_max_min_bisection(
+    problem: MaxMinLP,
+    *,
+    backend: str = DEFAULT_BACKEND,
+    tol: float = 1e-6,
+    max_iter: int = 100,
+) -> MaxMinSolveResult:
+    """Solve the max-min LP by bisection on the target value ``ω``.
+
+    Each bisection step solves a feasibility LP ("can every party receive at
+    least ``ω`` without exceeding any resource?").  The method converges to
+    the optimum within ``tol`` (absolute) and is used in the test suite to
+    cross-validate :func:`solve_max_min`.
+    """
+    if problem.n_beneficiaries == 0:
+        raise UnboundedError(
+            "the max-min objective is unbounded when there are no beneficiaries"
+        )
+    if problem.n_agents == 0:
+        return MaxMinSolveResult(objective=0.0, x={}, backend=backend)
+
+    # Upper bound on ω*: every party k can get at most
+    # max_{v∈V_k} c_kv / max(a_iv over i) ... a simple safe upper bound is
+    # Σ_v c_kv * (min_i 1/a_iv), the benefit if each agent used its full
+    # individual budget.  Compute it per party and take the minimum.
+    upper = np.inf
+    for k in problem.beneficiaries:
+        total = 0.0
+        for v in problem.beneficiary_support(k):
+            caps = [1.0 / problem.consumption(i, v) for i in problem.agent_resources(v)]
+            if caps:
+                total += problem.benefit(k, v) * min(caps)
+            else:
+                total = np.inf
+                break
+        upper = min(upper, total)
+    if not np.isfinite(upper):
+        raise UnboundedError("instance has an agent with no resource constraint")
+    if upper <= 0.0:
+        return MaxMinSolveResult(
+            objective=0.0, x={v: 0.0 for v in problem.agents}, backend=backend
+        )
+
+    lo, hi = 0.0, float(upper)
+    best_x = np.zeros(problem.n_agents)
+    for _ in range(max_iter):
+        if hi - lo <= tol:
+            break
+        mid = 0.5 * (lo + hi)
+        ok, x = _packing_feasible_for_target(problem, mid, backend=backend)
+        if ok and x is not None:
+            lo = mid
+            best_x = x
+        else:
+            hi = mid
+    # Report the objective actually achieved by the best feasible x found.
+    achieved = problem.objective(best_x) if problem.n_beneficiaries else float("inf")
+    return MaxMinSolveResult(
+        objective=float(achieved), x=problem.from_array(best_x), backend=backend
+    )

@@ -1,0 +1,244 @@
+"""A multiplicative-weights (MWU) approximate solver for max-min LPs.
+
+The related-work section of the paper builds on "linear programming without
+the matrix" (Papadimitriou & Yannakakis) and on the distributed
+approximation schemes of Kuhn et al., all of which at their core rely on
+Lagrangian / multiplicative-weights style methods for positive LPs.  This
+module provides such a solver as an independent substrate:
+
+* it only performs *oracle-style* operations (matrix--vector products with
+  the non-negative matrices ``A`` and ``C``), never a full LP solve, and
+* it returns a feasible solution whose objective is within a ``(1 - ε)``
+  factor of a target value whenever that target is achievable.
+
+Combined with a geometric search over targets it yields an approximate
+max-min solver (:func:`solve_max_min_mwu`) that the benchmark harness
+compares against the exact LP backends (experiment LP-BACKENDS).
+
+The algorithm is a standard simultaneous packing/covering multiplicative
+weights scheme: packing rows accumulate weight ``exp(η (Ax)_i)``, unmet
+covering rows accumulate weight ``exp(-η (Cx)_k)``, and each iteration
+increases the single variable with the best covering-to-packing weighted
+ratio by a step small enough to keep the exponentials stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..core.problem import Agent, MaxMinLP
+from ..exceptions import UnboundedError
+
+__all__ = ["MWUResult", "mwu_feasibility", "solve_max_min_mwu"]
+
+
+@dataclass(frozen=True)
+class MWUResult:
+    """Result of an MWU approximate max-min solve.
+
+    Attributes
+    ----------
+    objective:
+        Objective ``ω`` of the returned (feasible) solution.
+    x:
+        The solution keyed by agent.
+    iterations:
+        Total number of MWU iterations across all target probes.
+    targets_tried:
+        Number of distinct target values probed by the outer search.
+    """
+
+    objective: float
+    x: Dict[Agent, float]
+    iterations: int
+    targets_tried: int
+
+
+def _dense_matrices(problem: MaxMinLP) -> Tuple[np.ndarray, np.ndarray]:
+    A = problem.A.toarray() if problem.n_resources else np.zeros((0, problem.n_agents))
+    C = (
+        problem.C.toarray()
+        if problem.n_beneficiaries
+        else np.zeros((0, problem.n_agents))
+    )
+    return A, C
+
+
+def mwu_feasibility(
+    problem: MaxMinLP,
+    target: float,
+    *,
+    epsilon: float = 0.1,
+    max_iterations: int = 200_000,
+) -> Tuple[Optional[np.ndarray], int]:
+    """Try to find ``x ≥ 0`` with ``A x ≤ 1`` and ``C x ≥ (1-ε)·target``.
+
+    Returns ``(x, iterations)``; ``x`` is ``None`` when the routine could not
+    reach the (relaxed) target within the iteration budget, which the caller
+    interprets as "target too ambitious".  Any returned ``x`` is rescaled to
+    be strictly feasible for the packing constraints.
+    """
+    if target <= 0:
+        return np.zeros(problem.n_agents), 0
+    A, C = _dense_matrices(problem)
+    n = problem.n_agents
+    if n == 0 or C.shape[0] == 0:
+        return None, 0
+
+    # Work with benefit rows normalised by the target so that "covered" means
+    # reaching 1.0 on every row.
+    Cn = C / target
+    eta = np.log(max(A.shape[0] + Cn.shape[0], 2)) / max(epsilon, 1e-6)
+
+    x = np.zeros(n)
+    Ax = np.zeros(A.shape[0])
+    Cx = np.zeros(Cn.shape[0])
+
+    # Column-wise upper bounds keep the exponential weights stable: a step on
+    # variable j changes row i of Ax by step * A[i, j], so the step is chosen
+    # to bound the largest per-row change by ``epsilon / eta``.
+    col_max_A = A.max(axis=0) if A.shape[0] else np.zeros(n)
+    col_max_C = Cn.max(axis=0) if Cn.shape[0] else np.zeros(n)
+    col_max = np.maximum(col_max_A, col_max_C)
+    col_max[col_max == 0.0] = np.inf  # never pick a useless column
+
+    iterations = 0
+    while iterations < max_iterations:
+        uncovered = Cx < 1.0 - 1e-12
+        if not uncovered.any():
+            break
+        iterations += 1
+        pack_w = np.exp(np.clip(eta * (Ax - Ax.max()), -700, 0)) if A.shape[0] else np.zeros(0)
+        cover_w = np.where(uncovered, np.exp(np.clip(-eta * Cx, -700, 700)), 0.0)
+
+        gain = cover_w @ Cn  # per-variable covering gain
+        cost = pack_w @ A if A.shape[0] else np.zeros(n)
+        # Avoid division by zero: variables with zero packing cost but positive
+        # gain are unboundedly good (cannot happen for validated instances).
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(gain > 0, gain / np.maximum(cost, 1e-300), -np.inf)
+        j = int(np.argmax(ratio))
+        if not np.isfinite(ratio[j]) or ratio[j] <= 0:
+            # No variable improves any uncovered row: the target is hopeless.
+            return None, iterations
+
+        step = (epsilon / eta) / col_max[j]
+        x[j] += step
+        Ax += step * A[:, j]
+        Cx += step * Cn[:, j]
+
+        if A.shape[0] and Ax.max() > (1.0 + epsilon) * np.log(max(A.shape[0] + Cn.shape[0], 2)) / epsilon:
+            # Packing budget exhausted without covering everything.
+            break
+
+    if (Cx >= 1.0 - 1e-12).all() or iterations >= max_iterations:
+        scale = 1.0
+        if A.shape[0] and Ax.size and Ax.max() > 0:
+            scale = min(1.0, 1.0 / Ax.max())
+        x_scaled = x * scale
+        achieved = problem.benefits(x_scaled).min() if problem.n_beneficiaries else np.inf
+        if achieved >= (1.0 - epsilon) * target * (1.0 - 1e-9):
+            return x_scaled, iterations
+        return (x_scaled if achieved > 0 else None), iterations
+    # Budget exhausted: rescale what we have and let the caller decide.
+    scale = 1.0
+    if A.shape[0] and Ax.size and Ax.max() > 1.0:
+        scale = 1.0 / Ax.max()
+    x_scaled = x * scale
+    achieved = problem.benefits(x_scaled).min() if problem.n_beneficiaries else np.inf
+    if achieved >= (1.0 - epsilon) * target:
+        return x_scaled, iterations
+    return None, iterations
+
+
+def solve_max_min_mwu(
+    problem: MaxMinLP,
+    *,
+    epsilon: float = 0.1,
+    max_iterations_per_target: int = 200_000,
+) -> MWUResult:
+    """Approximately solve the max-min LP with multiplicative weights.
+
+    The outer loop performs a geometric search over target values between a
+    trivial lower bound (the safe algorithm's objective; see
+    :mod:`repro.core.safe`) and a trivial upper bound, keeping the best
+    feasible solution found.  The returned solution is always feasible; its
+    objective is within roughly ``(1 - ε)²`` of the optimum for well-behaved
+    instances (the test-suite checks a conservative bound).
+    """
+    from ..core.safe import safe_solution  # local import to avoid a cycle
+
+    if problem.n_beneficiaries == 0:
+        raise UnboundedError(
+            "the max-min objective is unbounded when there are no beneficiaries"
+        )
+    if problem.n_agents == 0:
+        return MWUResult(objective=0.0, x={}, iterations=0, targets_tried=0)
+
+    # Lower bound from the safe algorithm, upper bound as in the bisection
+    # solver: per party, the benefit if each supporting agent spent its whole
+    # individual budget.
+    base_x = problem.to_array(safe_solution(problem))
+    lower = float(problem.benefits(base_x).min()) if problem.n_beneficiaries else 0.0
+    upper = np.inf
+    for k in problem.beneficiaries:
+        total = 0.0
+        for v in problem.beneficiary_support(k):
+            caps = [1.0 / problem.consumption(i, v) for i in problem.agent_resources(v)]
+            if caps:
+                total += problem.benefit(k, v) * min(caps)
+            else:
+                total = np.inf
+                break
+        upper = min(upper, total)
+    if not np.isfinite(upper):
+        raise UnboundedError("instance has an agent with no resource constraint")
+
+    best_x = base_x.copy()
+    best_obj = lower
+    iterations = 0
+    targets = 0
+    if upper <= 0:
+        return MWUResult(
+            objective=0.0,
+            x={v: 0.0 for v in problem.agents},
+            iterations=0,
+            targets_tried=0,
+        )
+
+    lo = max(lower, upper * 1e-6)
+    hi = float(upper)
+    # Geometric bisection on the target value.
+    for _ in range(40):
+        if hi <= lo * (1.0 + epsilon / 4.0):
+            break
+        mid = float(np.sqrt(lo * hi)) if lo > 0 else hi / 2.0
+        targets += 1
+        x, it = mwu_feasibility(
+            problem,
+            mid,
+            epsilon=epsilon,
+            max_iterations=max_iterations_per_target,
+        )
+        iterations += it
+        if x is not None:
+            obj = float(problem.benefits(x).min())
+            if obj > best_obj:
+                best_obj = obj
+                best_x = x
+            if obj >= (1.0 - epsilon) * mid:
+                lo = mid
+            else:
+                hi = mid
+        else:
+            hi = mid
+
+    return MWUResult(
+        objective=float(best_obj),
+        x=problem.from_array(best_x),
+        iterations=iterations,
+        targets_tried=targets,
+    )

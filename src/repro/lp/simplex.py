@@ -1,0 +1,280 @@
+"""A from-scratch dense two-phase simplex solver.
+
+The library's default LP backend is SciPy's HiGHS interface
+(:mod:`repro.lp.backends`); this module provides an independent,
+pure-NumPy implementation used (a) to cross-validate the default backend in
+the test suite and (b) as a dependency-free fallback for the many *small*
+local LPs solved by the averaging algorithm of Section 5.
+
+The implementation is a textbook two-phase tableau simplex with Bland's
+anti-cycling rule.  It is intentionally simple: the local LPs it is asked to
+solve have at most a few hundred variables, so asymptotic performance is not
+a concern (per the optimisation guide: make it correct first, and only the
+measured hot path gets vectorised -- here the tableau pivots already are
+NumPy row operations).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .standard import LinearProgram, LPResult, LPStatus
+
+__all__ = ["solve_simplex"]
+
+_TOL = 1e-9
+
+
+def _to_standard_form(
+    lp: LinearProgram,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, List[Tuple[int, int, float]], int]:
+    """Convert ``lp`` to ``min c x  s.t.  A x = b, x >= 0``.
+
+    Returns ``(A, b, c, recover, n_original)`` where ``recover`` is a list of
+    ``(original_index, column_index, sign)`` triples used to map a standard
+    form solution back to the original variables (a free original variable
+    maps to the difference of two columns).
+    """
+    n = lp.n_variables
+    columns: List[np.ndarray] = []  # original columns expressed over std vars
+    recover: List[Tuple[int, int, float]] = []
+    col_count = 0
+    shifts = np.zeros(n)
+    extra_upper_rows: List[Tuple[int, float]] = []  # (original var, upper bound)
+
+    # Assemble per-variable transformations.
+    var_cols: List[List[Tuple[int, float]]] = []
+    for j, (lo, hi) in enumerate(lp.bounds):
+        if lo is None and hi is None:
+            # free variable: x_j = p - q
+            var_cols.append([(col_count, 1.0), (col_count + 1, -1.0)])
+            recover.append((j, col_count, 1.0))
+            recover.append((j, col_count + 1, -1.0))
+            col_count += 2
+        elif lo is not None:
+            # x_j = lo + y, y >= 0; optional upper bound handled as a row.
+            shifts[j] = lo
+            var_cols.append([(col_count, 1.0)])
+            recover.append((j, col_count, 1.0))
+            if hi is not None:
+                extra_upper_rows.append((j, hi - lo))
+            col_count += 1
+        else:
+            # hi is not None and lo is None: x_j = hi - y, y >= 0.
+            shifts[j] = hi
+            var_cols.append([(col_count, -1.0)])
+            recover.append((j, col_count, -1.0))
+            col_count += 1
+
+    rows: List[np.ndarray] = []
+    rhs: List[float] = []
+
+    def expand_row(row: np.ndarray) -> Tuple[np.ndarray, float]:
+        """Express an original-variable row over the standard variables."""
+        new = np.zeros(col_count)
+        offset = 0.0
+        for j, coef in enumerate(row):
+            if coef == 0.0:
+                continue
+            offset += coef * shifts[j]
+            for col, sign in var_cols[j]:
+                new[col] += coef * sign
+        return new, offset
+
+    slack_cols = 0
+    slack_rows: List[int] = []
+    if lp.A_ub is not None:
+        for r in range(lp.A_ub.shape[0]):
+            new, offset = expand_row(lp.A_ub[r])
+            rows.append(new)
+            rhs.append(float(lp.b_ub[r]) - offset)
+            slack_rows.append(len(rows) - 1)
+            slack_cols += 1
+    for j, ub in extra_upper_rows:
+        row = np.zeros(n)
+        row[j] = 1.0
+        new, offset = expand_row(row)
+        rows.append(new)
+        rhs.append(float(ub))  # offset already removed via hi - lo
+        slack_rows.append(len(rows) - 1)
+        slack_cols += 1
+    if lp.A_eq is not None:
+        for r in range(lp.A_eq.shape[0]):
+            new, offset = expand_row(lp.A_eq[r])
+            rows.append(new)
+            rhs.append(float(lp.b_eq[r]) - offset)
+
+    m = len(rows)
+    A = np.zeros((m, col_count + slack_cols))
+    b = np.array(rhs, dtype=np.float64)
+    for r, row in enumerate(rows):
+        A[r, :col_count] = row
+    for s, r in enumerate(slack_rows):
+        A[r, col_count + s] = 1.0
+
+    c_std = np.zeros(col_count + slack_cols)
+    for j, coef in enumerate(lp.c):
+        if coef == 0.0:
+            continue
+        for col, sign in var_cols[j]:
+            c_std[col] += coef * sign
+
+    # Normalise to b >= 0 for phase 1.
+    for r in range(m):
+        if b[r] < 0:
+            A[r] *= -1.0
+            b[r] *= -1.0
+
+    return A, b, c_std, recover, n
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    tableau[row] /= tableau[row, col]
+    pivot_col = tableau[:, col].copy()
+    pivot_col[row] = 0.0
+    tableau -= np.outer(pivot_col, tableau[row])
+    basis[row] = col
+
+
+def _simplex_core(
+    A: np.ndarray, b: np.ndarray, c: np.ndarray, basis: np.ndarray, max_iter: int
+) -> Tuple[str, np.ndarray, np.ndarray]:
+    """Run the simplex method from a basic feasible solution.
+
+    Returns ``(status, x, basis)`` where status is ``"optimal"`` or
+    ``"unbounded"``.
+    """
+    m, n = A.shape
+    tableau = np.hstack([A, b.reshape(-1, 1)])
+    for _ in range(max_iter):
+        # Reduced costs: c_j - c_B B^{-1} A_j; the tableau is kept in
+        # B^{-1} A form, so compute them directly.
+        cb = c[basis]
+        reduced = c - cb @ tableau[:, :n]
+        entering = -1
+        for j in range(n):  # Bland's rule: smallest index with negative cost
+            if reduced[j] < -_TOL:
+                entering = j
+                break
+        if entering < 0:
+            x = np.zeros(n)
+            x[basis] = tableau[:, n]
+            return "optimal", x, basis
+        column = tableau[:, entering]
+        ratios = np.full(m, np.inf)
+        positive = column > _TOL
+        ratios[positive] = tableau[positive, n] / column[positive]
+        if not np.isfinite(ratios).any():
+            return "unbounded", np.zeros(n), basis
+        best = np.min(ratios)
+        # Bland's rule on the leaving variable: among minimising rows pick the
+        # one whose basic variable has the smallest index.
+        candidates = np.where(np.abs(ratios - best) <= _TOL * (1 + abs(best)))[0]
+        leaving = int(candidates[np.argmin(basis[candidates])])
+        _pivot(tableau, basis, leaving, entering)
+    raise RuntimeError("simplex iteration limit exceeded")
+
+
+def solve_simplex(lp: LinearProgram, *, max_iter: int = 20000) -> LPResult:
+    """Solve ``lp`` with the two-phase dense simplex method.
+
+    Parameters
+    ----------
+    lp:
+        The linear program (minimisation form).
+    max_iter:
+        Iteration cap for each phase; exceeded caps surface as
+        :class:`LPStatus.ERROR` results rather than exceptions so that the
+        caller can fall back to another backend.
+    """
+    try:
+        A, b, c, recover, n_original = _to_standard_form(lp)
+    except Exception:  # pragma: no cover - defensive
+        return LPResult(LPStatus.ERROR, None, None, backend="simplex")
+
+    m, n = A.shape
+    if m == 0:
+        # No constraints: optimum is at the lower bounds (already shifted to 0)
+        x = np.zeros(n_original)
+        for j, (lo, hi) in enumerate(lp.bounds):
+            if lo is not None:
+                x[j] = lo
+            elif hi is not None:
+                x[j] = hi
+            else:
+                x[j] = 0.0
+            if lp.c[j] != 0.0 and (
+                (lp.c[j] < 0 and (lp.bounds[j][1] is None))
+                or (lp.c[j] > 0 and (lp.bounds[j][0] is None))
+            ):
+                return LPResult(LPStatus.UNBOUNDED, None, None, backend="simplex")
+        return LPResult(LPStatus.OPTIMAL, x, lp.objective_value(x), backend="simplex")
+
+    # Phase 1: minimise the sum of artificial variables.
+    A1 = np.hstack([A, np.eye(m)])
+    c1 = np.concatenate([np.zeros(n), np.ones(m)])
+    basis = np.arange(n, n + m)
+    try:
+        status, x1, basis = _simplex_core(A1, b, c1, basis, max_iter)
+    except RuntimeError:
+        return LPResult(LPStatus.ERROR, None, None, backend="simplex")
+    if status != "optimal" or float(c1 @ x1) > 1e-7:
+        return LPResult(LPStatus.INFEASIBLE, None, None, backend="simplex")
+
+    # Drive artificial variables out of the basis where possible.  The
+    # tableau is recomputed from the current basis (a fresh inverse) for
+    # numerical robustness before the pivoting pass.
+    B = A1[:, basis]
+    try:
+        Binv = np.linalg.inv(B)
+    except np.linalg.LinAlgError:  # pragma: no cover - degenerate basis
+        return LPResult(LPStatus.ERROR, None, None, backend="simplex")
+    T = Binv @ A1
+    rhs = Binv @ b
+    for r in range(m):
+        if basis[r] >= n:
+            # Try to pivot in any original column with a non-zero entry.
+            pivot_col = -1
+            for j in range(n):
+                if abs(T[r, j]) > 1e-7:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                piv_tab = np.hstack([T, rhs.reshape(-1, 1)])
+                _pivot(piv_tab, basis, r, pivot_col)
+                T = piv_tab[:, :-1]
+                rhs = piv_tab[:, -1]
+            # Otherwise the row is redundant; the artificial stays basic at 0.
+
+    # Any artificial variable still basic at this point sits on a row whose
+    # original-column entries are all zero (otherwise it would have been
+    # pivoted out above); such rows are redundant and are dropped before
+    # phase 2 so that the artificial columns can be discarded entirely.
+    keep_rows = [r for r in range(m) if basis[r] < n]
+    T2 = T[keep_rows][:, :n]
+    rhs2 = rhs[np.array(keep_rows, dtype=int)] if keep_rows else np.zeros(0)
+    basis2 = basis[np.array(keep_rows, dtype=int)] if keep_rows else np.array([], dtype=int)
+
+    if len(keep_rows) == 0:
+        # Every constraint was redundant; the problem reduces to bounds only.
+        x_std = np.zeros(n)
+    else:
+        try:
+            status, x2, basis2 = _simplex_core(T2, rhs2, c, basis2, max_iter)
+        except RuntimeError:
+            return LPResult(LPStatus.ERROR, None, None, backend="simplex")
+        if status == "unbounded":
+            return LPResult(LPStatus.UNBOUNDED, None, None, backend="simplex")
+        x_std = x2[:n]
+    # Map back to the original variables.
+    x = np.zeros(n_original)
+    for j, (lo, hi) in enumerate(lp.bounds):
+        if lo is not None:
+            x[j] = lo
+        elif hi is not None:
+            x[j] = hi
+    for j, col, sign in recover:
+        x[j] += sign * x_std[col]
+    return LPResult(LPStatus.OPTIMAL, x, lp.objective_value(x), backend="simplex")

@@ -1,0 +1,65 @@
+"""Unit tests for ratio comparison and parameter sweep helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    local_averaging_solution,
+    optimal_objective,
+    safe_approximation_guarantee,
+    safe_solution,
+)
+from repro.analysis import compare_algorithms, growth_sweep, radius_sweep, ratio_of, safe_ratio_sweep
+
+
+class TestRatioOf:
+    def test_ratio_of_safe_solution(self, asymmetric_instance):
+        ratio = ratio_of(asymmetric_instance, safe_solution(asymmetric_instance))
+        assert ratio >= 1.0
+        assert ratio <= safe_approximation_guarantee(asymmetric_instance) + 1e-9
+
+    def test_ratio_with_precomputed_optimum(self, tiny_instance):
+        optimum = optimal_objective(tiny_instance)
+        assert ratio_of(
+            tiny_instance, {"v1": 0.5, "v2": 0.5}, optimum=optimum
+        ) == pytest.approx(1.0)
+
+
+class TestCompareAlgorithms:
+    def test_compares_named_algorithms(self, cycle8):
+        results = compare_algorithms(
+            cycle8,
+            {
+                "safe": safe_solution,
+                "averaging-R1": lambda p: local_averaging_solution(p, 1).x,
+            },
+        )
+        assert set(results) == {"safe", "averaging-R1"}
+        for comparison in results.values():
+            assert comparison.feasible
+            assert comparison.ratio >= 1.0
+            assert comparison.optimum == pytest.approx(1.5)
+
+
+class TestSweeps:
+    def test_radius_sweep_rows(self, cycle8):
+        rows = radius_sweep(cycle8, [1, 2])
+        assert [row["R"] for row in rows] == [1, 2]
+        for row in rows:
+            assert row["ratio"] >= 1.0 - 1e-9
+            assert row["ratio"] <= row["instance_bound"] + 1e-6
+            assert row["instance_bound"] <= row["gamma_bound"] + 1e-9
+            assert row["optimum"] == pytest.approx(1.5)
+
+    def test_safe_ratio_sweep(self, cycle8, path6):
+        rows = safe_ratio_sweep([cycle8, path6], labels=["cycle", "path"])
+        assert [row["instance"] for row in rows] == ["cycle", "path"]
+        for row in rows:
+            assert 1.0 - 1e-9 <= row["ratio"] <= row["delta_VI"] + 1e-9
+
+    def test_growth_sweep(self, cycle8, grid4x4):
+        rows = growth_sweep({"cycle": cycle8, "grid": grid4x4}, max_radius=2)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["gamma(0)"] >= row["gamma(1)"] >= 1.0

@@ -1,0 +1,55 @@
+"""Unit tests for the text table / series formatting."""
+
+from __future__ import annotations
+
+from repro.analysis import format_series, format_table, render_rows
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.0000" in lines[2]
+        assert "2.5000" in lines[3]
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_precision(self):
+        text = format_table(["x"], [[1.23456789]], precision=2)
+        assert "1.23" in text and "1.2346" not in text
+
+    def test_special_values(self):
+        text = format_table(["x"], [[float("inf")], [float("nan")], [True]])
+        assert "inf" in text
+        assert "nan" in text
+        assert "yes" in text
+
+    def test_columns_are_aligned(self):
+        text = format_table(["a", "b"], [["x", 1], ["longer", 2]])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines[2:])) == 1
+
+
+class TestFormatSeries:
+    def test_series_against_x_axis(self):
+        text = format_series(
+            "R", {"ratio": [2.0, 1.5], "bound": [3.0, 2.0]}, [1, 2], title="fig"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "fig"
+        assert "R" in lines[1] and "ratio" in lines[1] and "bound" in lines[1]
+        assert len(lines) == 5
+
+
+class TestRenderRows:
+    def test_renders_dict_rows(self):
+        text = render_rows([{"a": 1, "b": 2.0}, {"a": 3, "b": 4.0}])
+        assert "a" in text and "b" in text
+        assert "4.0000" in text
+
+    def test_empty_rows(self):
+        assert render_rows([], title="empty") == "empty"

@@ -1,0 +1,83 @@
+"""Unit tests for the ISP fair-bandwidth application (Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConstructionError, optimal_solution
+from repro.apps import AccessRouter, Customer, ISPNetwork, LastMileLink, random_isp_network
+
+
+def hand_built_isp() -> ISPNetwork:
+    """Two customers share one router; a second router serves only customer A."""
+    return ISPNetwork(
+        customers=[Customer("A"), Customer("B")],
+        links=[
+            LastMileLink(name="A-l0", customer="A", capacity=1.0),
+            LastMileLink(name="B-l0", customer="B", capacity=1.0),
+        ],
+        routers=[AccessRouter(name="r0", capacity=1.0), AccessRouter(name="r1", capacity=1.0)],
+        reachability={"A-l0": ["r0", "r1"], "B-l0": ["r0"]},
+    )
+
+
+class TestReduction:
+    def test_instance_shape(self):
+        problem = hand_built_isp().to_maxmin_lp()
+        assert problem.n_agents == 3  # three (link, router) paths
+        assert problem.n_resources == 4  # 2 links + 2 routers
+        assert problem.n_beneficiaries == 2
+
+    def test_known_optimum(self):
+        # B can only use r0; A should route through r1, leaving r0 to B:
+        # both customers get 1.0.
+        problem = hand_built_isp().to_maxmin_lp()
+        result = optimal_solution(problem)
+        assert result.objective == pytest.approx(1.0)
+
+    def test_capacity_matters(self):
+        net = hand_built_isp()
+        net.routers[0] = AccessRouter(name="r0", capacity=0.5)
+        problem = net.to_maxmin_lp()
+        assert optimal_solution(problem).objective == pytest.approx(0.5)
+
+    def test_interpret_solution(self):
+        net = hand_built_isp()
+        problem = net.to_maxmin_lp()
+        result = optimal_solution(problem)
+        per_customer = net.interpret_solution(problem, result.x)
+        assert set(per_customer) == {"A", "B"}
+        assert min(per_customer.values()) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_customer_without_link_rejected(self):
+        net = hand_built_isp()
+        net.customers.append(Customer("C"))
+        with pytest.raises(ConstructionError, match="no last-mile link"):
+            net.validate()
+
+    def test_customer_without_router_rejected(self):
+        net = hand_built_isp()
+        net.reachability["B-l0"] = []
+        with pytest.raises(ConstructionError, match="cannot reach"):
+            net.validate()
+
+
+class TestRandomTopology:
+    def test_reproducible(self):
+        a = random_isp_network(5, 3, seed=1)
+        b = random_isp_network(5, 3, seed=1)
+        assert a.reachability == b.reachability
+
+    def test_generated_topology_is_solvable(self, isp_network):
+        problem = isp_network.to_maxmin_lp()
+        result = optimal_solution(problem)
+        assert result.objective > 0
+        assert problem.n_beneficiaries == len(isp_network.customers)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_isp_network(0, 3)
+        with pytest.raises(ValueError):
+            random_isp_network(3, 2, routers_per_link=5)

@@ -1,0 +1,134 @@
+"""Unit tests for the two-tier sensor-network application (Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ConstructionError, optimal_solution, safe_solution
+from repro.apps import Area, Relay, Sensor, SensorNetwork, random_sensor_network
+
+
+def hand_built_network() -> SensorNetwork:
+    """Two sensors, one shared relay, two areas; all distances engineered."""
+    return SensorNetwork(
+        sensors=[
+            Sensor(name="s0", position=(0.0, 0.0)),
+            Sensor(name="s1", position=(1.0, 0.0)),
+        ],
+        relays=[Relay(name="t0", position=(0.5, 0.0))],
+        areas=[
+            Area(name="a0", position=(0.0, 0.1)),
+            Area(name="a1", position=(1.0, 0.1)),
+        ],
+        radio_range=0.6,
+        sensing_range=0.2,
+    )
+
+
+class TestStructure:
+    def test_links_and_coverage(self):
+        net = hand_built_network()
+        assert set(net.links()) == {("s0", "t0"), ("s1", "t0")}
+        cov = net.coverage()
+        assert cov == {"a0": ["s0"], "a1": ["s1"]}
+
+    def test_validation_rejects_uncovered_area(self):
+        net = hand_built_network()
+        net.areas.append(Area(name="far", position=(5.0, 5.0)))
+        with pytest.raises(ConstructionError, match="not covered"):
+            net.validate()
+
+    def test_validation_rejects_unreachable_relay(self):
+        net = hand_built_network()
+        net.radio_range = 0.1  # no sensor can reach the relay any more
+        with pytest.raises(ConstructionError, match="reach a relay"):
+            net.validate()
+
+
+class TestReduction:
+    def test_instance_shape(self):
+        problem = hand_built_network().to_maxmin_lp()
+        assert problem.n_agents == 2  # two links
+        assert problem.n_resources == 3  # 2 sensors + 1 relay
+        assert problem.n_beneficiaries == 2  # 2 areas
+
+    def test_known_optimum_shared_relay(self):
+        # Both areas route through the single relay, which becomes the
+        # bottleneck: each can get at most 1/2.
+        problem = hand_built_network().to_maxmin_lp()
+        result = optimal_solution(problem)
+        assert result.objective == pytest.approx(0.5)
+
+    def test_energy_scaling_changes_optimum(self):
+        net = hand_built_network()
+        net.relays[0] = Relay(name="t0", position=(0.5, 0.0), energy=2.0)
+        problem = net.to_maxmin_lp()
+        assert optimal_solution(problem).objective == pytest.approx(1.0)
+
+    def test_coefficients_use_energy_and_costs(self):
+        net = hand_built_network()
+        net.sensors[0] = Sensor(name="s0", position=(0.0, 0.0), energy=2.0, tx_cost=0.5)
+        problem = net.to_maxmin_lp()
+        assert problem.consumption(("sensor", "s0"), ("link", "s0", "t0")) == pytest.approx(
+            0.25
+        )
+
+
+class TestInterpretation:
+    def test_report_fields(self):
+        net = hand_built_network()
+        problem = net.to_maxmin_lp()
+        result = optimal_solution(problem)
+        report = net.interpret_solution(problem, result.x)
+        assert report.min_area_rate == pytest.approx(0.5)
+        assert set(report.area_rates) == {"a0", "a1"}
+        assert set(report.device_usage) == {
+            ("sensor", "s0"),
+            ("sensor", "s1"),
+            ("relay", "t0"),
+        }
+        assert report.device_usage[("relay", "t0")] == pytest.approx(1.0)
+        assert report.lifetime == pytest.approx(1.0)
+
+    def test_lifetime_scales_with_reporting_period(self):
+        net = hand_built_network()
+        problem = net.to_maxmin_lp()
+        result = optimal_solution(problem)
+        report = net.interpret_solution(problem, result.x, reporting_period=10.0)
+        assert report.lifetime == pytest.approx(10.0)
+
+    def test_zero_solution_has_infinite_lifetime(self):
+        net = hand_built_network()
+        problem = net.to_maxmin_lp()
+        report = net.interpret_solution(problem, {v: 0.0 for v in problem.agents})
+        assert report.lifetime == float("inf")
+
+
+class TestRandomDeployment:
+    def test_reproducible(self):
+        a = random_sensor_network(10, 4, 3, seed=5)
+        b = random_sensor_network(10, 4, 3, seed=5)
+        assert [s.position for s in a.sensors] == [s.position for s in b.sensors]
+
+    def test_generated_network_is_valid_and_solvable(self, sensor_network):
+        problem = sensor_network.to_maxmin_lp()
+        result = optimal_solution(problem)
+        assert result.objective > 0
+        # The safe algorithm also produces a feasible allocation.
+        x = safe_solution(problem)
+        assert problem.is_feasible(problem.to_array(x))
+
+    def test_energy_spread(self):
+        net = random_sensor_network(10, 4, 3, seed=5, energy_spread=0.4)
+        energies = [s.energy for s in net.sensors]
+        assert any(e != 1.0 for e in energies)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_sensor_network(0, 1, 1)
+        with pytest.raises(ValueError):
+            random_sensor_network(1, 1, 1, energy_spread=1.5)
+
+    def test_impossible_deployment_raises(self):
+        with pytest.raises(ConstructionError):
+            random_sensor_network(1, 1, 5, radio_range=0.01, sensing_range=0.01, max_attempts=3, seed=0)

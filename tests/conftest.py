@@ -1,0 +1,107 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide a small palette of instances spanning the regimes the
+paper distinguishes: hand-checkable tiny instances (paths, cycles), the
+bounded-growth setting of Theorem 3 (grids, unit disks), random
+bounded-degree instances, the lower-bound construction of Section 4, and
+the Section 2 applications.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    MaxMinLPBuilder,
+    cycle_instance,
+    grid_instance,
+    path_instance,
+    random_bounded_degree_instance,
+    unit_disk_instance,
+)
+from repro.apps import random_isp_network, random_sensor_network
+from repro.lowerbound import build_lower_bound_instance
+
+
+@pytest.fixture(scope="session")
+def tiny_instance():
+    """A 2-agent, 1-resource, 1-beneficiary instance with a known optimum.
+
+    maximise min(x_1 + x_2) subject to x_1 + x_2 <= 1  =>  optimum 1.
+    """
+    builder = MaxMinLPBuilder()
+    builder.set_consumption("i", "v1", 1.0)
+    builder.set_consumption("i", "v2", 1.0)
+    builder.set_benefit("k", "v1", 1.0)
+    builder.set_benefit("k", "v2", 1.0)
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def asymmetric_instance():
+    """Two beneficiaries served by different agents competing for one resource.
+
+    maximise min(x_1, x_2) s.t. x_1 + x_2 <= 1  =>  optimum 1/2 at x = (1/2, 1/2).
+    """
+    builder = MaxMinLPBuilder()
+    builder.set_consumption("i", "v1", 1.0)
+    builder.set_consumption("i", "v2", 1.0)
+    builder.set_benefit("k1", "v1", 1.0)
+    builder.set_benefit("k2", "v2", 1.0)
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def cycle8():
+    """Unit-weight cycle instance on 8 agents (optimum 3/2)."""
+    return cycle_instance(8)
+
+
+@pytest.fixture(scope="session")
+def path6():
+    """Unit-weight path instance on 6 agents."""
+    return path_instance(6)
+
+
+@pytest.fixture(scope="session")
+def grid4x4():
+    """A 4x4 two-dimensional grid instance with unit weights."""
+    return grid_instance((4, 4))
+
+
+@pytest.fixture(scope="session")
+def torus4x4():
+    """A 4x4 torus instance (vertex-transitive, closed-form optimum 5/5 = 1)."""
+    return grid_instance((4, 4), torus=True)
+
+
+@pytest.fixture(scope="session")
+def random_instance():
+    """A reproducible random bounded-degree instance."""
+    return random_bounded_degree_instance(
+        18, max_resource_support=3, max_beneficiary_support=3, seed=7
+    )
+
+
+@pytest.fixture(scope="session")
+def disk_instance():
+    """A reproducible unit-disk instance."""
+    return unit_disk_instance(25, radius=0.3, max_support=6, seed=3)
+
+
+@pytest.fixture(scope="session")
+def lb_construction():
+    """The smallest interesting Section 4 construction (Δ_I^V=3, Δ_K^V=2, r=1)."""
+    return build_lower_bound_instance(3, 2, 1, seed=0)
+
+
+@pytest.fixture(scope="session")
+def sensor_network():
+    """A reproducible random two-tier sensor deployment."""
+    return random_sensor_network(12, 5, 4, seed=1)
+
+
+@pytest.fixture(scope="session")
+def isp_network():
+    """A reproducible random ISP topology."""
+    return random_isp_network(6, 4, seed=2)

@@ -1,0 +1,115 @@
+"""Unit tests for the baseline / ablation algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    local_averaging_solution,
+    safe_solution,
+    single_shot_local_solution,
+    uniform_share_solution,
+    unshrunk_averaging_solution,
+)
+
+
+class TestUniformShare:
+    def test_matches_safe_on_unit_coefficients(self, cycle8, grid4x4):
+        for problem in (cycle8, grid4x4):
+            uniform = uniform_share_solution(problem)
+            safe = safe_solution(problem)
+            assert uniform == pytest.approx(safe)
+
+    def test_can_violate_with_large_coefficients(self):
+        from repro import MaxMinLPBuilder
+
+        builder = MaxMinLPBuilder()
+        builder.set_consumption("i", "a", 3.0)
+        builder.set_consumption("i", "b", 3.0)
+        builder.set_benefit("k", "a", 1.0)
+        builder.set_benefit("k", "b", 1.0)
+        problem = builder.build()
+        x = uniform_share_solution(problem)
+        # Each agent takes 1/2 but consumes 3/2 -> infeasible; the safe
+        # algorithm divides by a_iv and stays feasible.
+        assert not problem.is_feasible(problem.to_array(x))
+        assert problem.is_feasible(problem.to_array(safe_solution(problem)))
+
+
+class TestAblations:
+    def test_rejects_radius_below_one(self, cycle8):
+        with pytest.raises(ValueError):
+            single_shot_local_solution(cycle8, 0)
+        with pytest.raises(ValueError):
+            unshrunk_averaging_solution(cycle8, 0)
+
+    def test_unshrunk_averaging_upper_bounds_shrunk_version(self, grid4x4):
+        # Removing the β_j <= 1 factor can only increase every activity.
+        shrunk = local_averaging_solution(grid4x4, 1)
+        unshrunk = unshrunk_averaging_solution(grid4x4, 1)
+        for v in grid4x4.agents:
+            assert unshrunk[v] >= shrunk.x[v] - 1e-9
+
+    def test_unshrunk_averaging_violation_bounded_by_resource_ratio(self, grid4x4):
+        # Dropping the β_j factor can overload resources, but by no more than
+        # max_i N_i/n_i (the quantity β_j compensates for in Section 5.2).
+        x = unshrunk_averaging_solution(grid4x4, 1)
+        result = local_averaging_solution(grid4x4, 1)
+        usage = grid4x4.resource_usage(grid4x4.to_array(x))
+        assert usage.max() <= result.resource_ratio + 1e-6
+
+    def test_unshrunk_averaging_violates_on_asymmetric_views(self):
+        # Same caterpillar instance as the single-shot test: the view sizes
+        # of u/v and of the pendant agents differ wildly, so averaging
+        # without the shrink factor overloads the shared resource.
+        from repro import MaxMinLPBuilder
+
+        builder = MaxMinLPBuilder()
+        builder.set_consumption("i_uv", "u", 1.0)
+        builder.set_consumption("i_uv", "v", 1.0)
+        builder.set_consumption("i_a", "a", 10.0)
+        builder.set_consumption("i_b", "b", 10.0)
+        builder.set_benefit("k_u", "u", 1.0)
+        builder.set_benefit("k_u", "a", 1.0)
+        builder.set_benefit("k_v", "v", 1.0)
+        builder.set_benefit("k_v", "b", 1.0)
+        problem = builder.build()
+        x = unshrunk_averaging_solution(problem, 1)
+        assert problem.violation(problem.to_array(x)) > 1e-6
+        shrunk = local_averaging_solution(problem, 1)
+        assert problem.is_feasible(problem.to_array(shrunk.x), tol=1e-7)
+
+    def test_single_shot_violates_shared_constraints(self):
+        # Two agents u, v share a unit resource.  Each has a private
+        # beneficiary whose other supporter (a resp. b) is tightly capped and
+        # sits at distance 2 from the opposite agent, so u's radius-1 view
+        # does not contain v's beneficiary (and vice versa).  Each local LP
+        # therefore pushes its own variable to 1 and the shared constraint
+        # ends up violated by a factor 2 -- the failure mode the averaging +
+        # shrinking of Section 5 repairs.
+        from repro import MaxMinLPBuilder
+
+        builder = MaxMinLPBuilder()
+        builder.set_consumption("i_uv", "u", 1.0)
+        builder.set_consumption("i_uv", "v", 1.0)
+        builder.set_consumption("i_a", "a", 10.0)
+        builder.set_consumption("i_b", "b", 10.0)
+        builder.set_benefit("k_u", "u", 1.0)
+        builder.set_benefit("k_u", "a", 1.0)
+        builder.set_benefit("k_v", "v", 1.0)
+        builder.set_benefit("k_v", "b", 1.0)
+        problem = builder.build()
+
+        x = single_shot_local_solution(problem, 1)
+        assert x["u"] == pytest.approx(1.0, abs=1e-6)
+        assert x["v"] == pytest.approx(1.0, abs=1e-6)
+        assert not problem.is_feasible(problem.to_array(x))
+        # The paper's algorithm on the same instance stays feasible.
+        averaged = local_averaging_solution(problem, 1)
+        assert problem.is_feasible(problem.to_array(averaged.x), tol=1e-7)
+
+    def test_single_shot_values_bounded_by_local_budget(self, grid4x4):
+        x = single_shot_local_solution(grid4x4, 1)
+        # Each local LP still enforces the agent's own constraints, so no
+        # activity exceeds the single-agent budget min_i 1/a_iv = 1.
+        assert all(value <= 1.0 + 1e-9 for value in x.values())

@@ -1,0 +1,123 @@
+"""Unit tests for the Theorem 3 local averaging algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    approximation_ratio,
+    communication_hypergraph,
+    grid_instance,
+    local_averaging_solution,
+    optimal_objective,
+    solve_local_lp,
+    theorem3_ratio_bound,
+)
+
+
+class TestBasicBehaviour:
+    def test_rejects_radius_below_one(self, cycle8):
+        with pytest.raises(ValueError):
+            local_averaging_solution(cycle8, 0)
+
+    def test_rejects_mismatched_hypergraph(self, cycle8, path6):
+        wrong = communication_hypergraph(path6)
+        with pytest.raises(Exception):
+            local_averaging_solution(cycle8, 1, hypergraph=wrong)
+
+    @pytest.mark.parametrize(
+        "fixture", ["tiny_instance", "cycle8", "path6", "grid4x4", "random_instance"]
+    )
+    def test_solution_is_always_feasible(self, fixture, request):
+        problem = request.getfixturevalue(fixture)
+        result = local_averaging_solution(problem, 1)
+        assert problem.is_feasible(problem.to_array(result.x), tol=1e-7)
+
+    def test_result_fields_are_consistent(self, cycle8):
+        result = local_averaging_solution(cycle8, 2, keep_local_solutions=True)
+        assert result.R == 2
+        assert set(result.x) == set(cycle8.agents)
+        assert set(result.beta) == set(cycle8.agents)
+        assert set(result.view_sizes) == set(cycle8.agents)
+        assert result.local_solutions is not None
+        assert set(result.local_solutions) == set(cycle8.agents)
+        assert result.proven_ratio_bound == pytest.approx(
+            result.resource_ratio * result.beneficiary_ratio
+        )
+        assert result.objective == pytest.approx(
+            cycle8.objective(cycle8.to_array(result.x))
+        )
+
+    def test_local_solutions_not_kept_by_default(self, cycle8):
+        assert local_averaging_solution(cycle8, 1).local_solutions is None
+
+    def test_beta_is_between_zero_and_one(self, grid4x4):
+        result = local_averaging_solution(grid4x4, 1)
+        assert all(0.0 < b <= 1.0 for b in result.beta.values())
+
+
+class TestApproximationGuarantees:
+    @pytest.mark.parametrize("R", [1, 2])
+    @pytest.mark.parametrize("fixture", ["cycle8", "path6", "grid4x4", "random_instance"])
+    def test_ratio_within_instance_bound(self, fixture, R, request):
+        problem = request.getfixturevalue(fixture)
+        optimum = optimal_objective(problem)
+        result = local_averaging_solution(problem, R)
+        ratio = approximation_ratio(optimum, result.objective)
+        assert ratio <= result.proven_ratio_bound + 1e-6
+
+    @pytest.mark.parametrize("R", [1, 2])
+    def test_instance_bound_within_gamma_bound(self, grid4x4, R):
+        # max_k M_k/m_k * max_i N_i/n_i <= γ(R-1)·γ(R) (end of Section 5.3).
+        H = communication_hypergraph(grid4x4)
+        result = local_averaging_solution(grid4x4, R, hypergraph=H)
+        assert result.proven_ratio_bound <= theorem3_ratio_bound(H, R) + 1e-9
+
+    def test_symmetric_cycle_is_solved_optimally(self, cycle8):
+        # On the vertex-transitive cycle the growth ratios are 1 for R >= 2
+        # within the bound's reach, and the algorithm recovers the optimum.
+        result = local_averaging_solution(cycle8, 2)
+        assert result.objective == pytest.approx(1.5, abs=1e-6)
+
+    def test_larger_radius_does_not_hurt_much_on_grid(self):
+        problem = grid_instance((5, 5))
+        optimum = optimal_objective(problem)
+        r1 = local_averaging_solution(problem, 1)
+        r2 = local_averaging_solution(problem, 2)
+        ratio1 = approximation_ratio(optimum, r1.objective)
+        ratio2 = approximation_ratio(optimum, r2.objective)
+        # The guarantee improves with R; allow slack for boundary effects on
+        # this small grid but insist the certified bound improves.
+        assert r2.proven_ratio_bound <= r1.proven_ratio_bound + 1e-9
+        assert ratio2 <= ratio1 * 1.5 + 1e-9
+
+
+class TestLocalLP:
+    def test_local_lp_over_full_agent_set_is_global_optimum(self, asymmetric_instance):
+        view = frozenset(asymmetric_instance.agents)
+        x = solve_local_lp(asymmetric_instance, view)
+        assert asymmetric_instance.objective(
+            asymmetric_instance.to_array(x)
+        ) == pytest.approx(optimal_objective(asymmetric_instance))
+
+    def test_local_lp_with_no_complete_beneficiary_returns_zero(self, asymmetric_instance):
+        # A single-agent view never contains a full beneficiary support of
+        # the other agent's party... here each party has a single supporting
+        # agent, so restrict to an agent NOT supporting any complete party.
+        from repro import MaxMinLPBuilder
+
+        builder = MaxMinLPBuilder()
+        builder.set_consumption("i", "a", 1.0)
+        builder.set_consumption("i", "b", 1.0)
+        builder.set_benefit("k", "a", 1.0)
+        builder.set_benefit("k", "b", 1.0)
+        problem = builder.build()
+        x = solve_local_lp(problem, frozenset({"a"}))
+        assert x == {"a": 0.0}
+
+    def test_local_lp_respects_clipped_constraints(self, grid4x4):
+        H = communication_hypergraph(grid4x4)
+        view = H.ball(grid4x4.agents[0], 1)
+        x = solve_local_lp(grid4x4, view)
+        local = grid4x4.local_subproblem(view)
+        assert local.is_feasible(local.to_array(x), tol=1e-7)

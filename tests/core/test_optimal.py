@@ -1,0 +1,87 @@
+"""Unit tests for the centralised optimum (LP reduction of Section 1.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MaxMinLPBuilder, UnboundedError, optimal_objective, optimal_solution
+from repro.lp import solve_max_min, solve_max_min_bisection
+
+
+class TestKnownOptima:
+    def test_tiny_instance(self, tiny_instance):
+        result = optimal_solution(tiny_instance)
+        assert result.objective == pytest.approx(1.0)
+        assert tiny_instance.is_feasible(tiny_instance.to_array(result.x))
+
+    def test_asymmetric_instance(self, asymmetric_instance):
+        result = optimal_solution(asymmetric_instance)
+        assert result.objective == pytest.approx(0.5)
+        assert result.x["v1"] == pytest.approx(0.5, abs=1e-6)
+        assert result.x["v2"] == pytest.approx(0.5, abs=1e-6)
+
+    def test_cycle_instance(self, cycle8):
+        assert optimal_objective(cycle8) == pytest.approx(1.5)
+
+    def test_torus_symmetric_optimum(self, torus4x4):
+        # On the 4x4 torus every resource has support size 5 (closed
+        # neighbourhood), so x_v = 1/5 for all v is feasible and gives every
+        # beneficiary exactly 1; by symmetry this is optimal.
+        assert optimal_objective(torus4x4) == pytest.approx(1.0)
+
+    def test_weighted_instance_optimum(self):
+        # maximise min(2 x1, x2) s.t. x1 + x2 <= 1: optimum 2/3 at (1/3, 2/3).
+        builder = MaxMinLPBuilder()
+        builder.set_consumption("i", "v1", 1.0)
+        builder.set_consumption("i", "v2", 1.0)
+        builder.set_benefit("k1", "v1", 2.0)
+        builder.set_benefit("k2", "v2", 1.0)
+        problem = builder.build()
+        result = optimal_solution(problem)
+        assert result.objective == pytest.approx(2.0 / 3.0)
+
+    def test_optimal_solution_is_feasible(self, grid4x4, random_instance):
+        for problem in (grid4x4, random_instance):
+            result = optimal_solution(problem)
+            assert problem.is_feasible(problem.to_array(result.x), tol=1e-6)
+            assert problem.objective(problem.to_array(result.x)) == pytest.approx(
+                result.objective, rel=1e-6, abs=1e-9
+            )
+
+
+class TestBackendsAgreement:
+    @pytest.mark.parametrize(
+        "fixture", ["tiny_instance", "asymmetric_instance", "cycle8", "path6"]
+    )
+    def test_simplex_backend_matches_scipy(self, fixture, request):
+        problem = request.getfixturevalue(fixture)
+        scipy_result = solve_max_min(problem, backend="scipy")
+        simplex_result = solve_max_min(problem, backend="simplex")
+        assert simplex_result.objective == pytest.approx(
+            scipy_result.objective, rel=1e-6, abs=1e-9
+        )
+        assert problem.is_feasible(problem.to_array(simplex_result.x), tol=1e-6)
+
+    @pytest.mark.parametrize("fixture", ["tiny_instance", "cycle8", "random_instance"])
+    def test_bisection_matches_exact(self, fixture, request):
+        problem = request.getfixturevalue(fixture)
+        exact = solve_max_min(problem)
+        bisect = solve_max_min_bisection(problem, tol=1e-7)
+        assert bisect.objective == pytest.approx(exact.objective, abs=1e-4)
+        assert problem.is_feasible(problem.to_array(bisect.x), tol=1e-6)
+
+
+class TestDegenerateCases:
+    def test_no_beneficiaries_is_unbounded(self):
+        from repro import MaxMinLP
+
+        problem = MaxMinLP(["v"], {("i", "v"): 1.0}, {}, validate=False)
+        with pytest.raises(UnboundedError):
+            optimal_solution(problem)
+
+    def test_unconstrained_agent_detected_by_bisection(self):
+        from repro import MaxMinLP
+
+        problem = MaxMinLP(["v"], {}, {("k", "v"): 1.0}, validate=False)
+        with pytest.raises(UnboundedError):
+            solve_max_min_bisection(problem)

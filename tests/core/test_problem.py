@@ -1,0 +1,253 @@
+"""Unit tests for the max-min LP instance model (repro.core.problem)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import InvalidInstanceError, MaxMinLP, MaxMinLPBuilder
+
+
+def build_small():
+    builder = MaxMinLPBuilder()
+    builder.set_consumption("i1", "a", 1.0)
+    builder.set_consumption("i1", "b", 2.0)
+    builder.set_consumption("i2", "b", 1.0)
+    builder.set_consumption("i2", "c", 1.0)
+    builder.set_benefit("k1", "a", 1.0)
+    builder.set_benefit("k1", "b", 0.5)
+    builder.set_benefit("k2", "c", 2.0)
+    return builder.build()
+
+
+class TestBuilder:
+    def test_builds_expected_index_sets(self):
+        problem = build_small()
+        assert set(problem.agents) == {"a", "b", "c"}
+        assert set(problem.resources) == {"i1", "i2"}
+        assert set(problem.beneficiaries) == {"k1", "k2"}
+        assert problem.n_agents == 3
+        assert problem.n_resources == 2
+        assert problem.n_beneficiaries == 2
+
+    def test_builder_is_chainable_and_idempotent(self):
+        builder = MaxMinLPBuilder()
+        result = builder.add_agent("v").add_agent("v").add_resource("i").add_beneficiary("k")
+        assert result is builder
+        builder.set_consumption("i", "v", 1.0)
+        builder.set_benefit("k", "v", 1.0)
+        problem = builder.build()
+        assert problem.n_agents == 1
+
+    def test_zero_coefficient_is_dropped(self):
+        builder = MaxMinLPBuilder()
+        builder.set_consumption("i", "v", 1.0)
+        builder.set_consumption("i", "w", 0.0)
+        builder.set_benefit("k", "v", 1.0)
+        problem = builder.build(validate=False)
+        assert problem.consumption("i", "w") == 0.0
+        assert "w" not in problem.resource_support("i")
+
+    def test_setting_coefficient_to_zero_removes_it(self):
+        builder = MaxMinLPBuilder()
+        builder.set_consumption("i", "v", 2.0)
+        builder.set_consumption("i", "v", 0.0)
+        builder.set_consumption("i", "v", 3.0)
+        builder.set_benefit("k", "v", 1.0)
+        problem = builder.build()
+        assert problem.consumption("i", "v") == 3.0
+
+    def test_negative_coefficients_rejected(self):
+        builder = MaxMinLPBuilder()
+        with pytest.raises(InvalidInstanceError):
+            builder.set_consumption("i", "v", -1.0)
+        with pytest.raises(InvalidInstanceError):
+            builder.set_benefit("k", "v", -0.5)
+
+    def test_n_agents_property(self):
+        builder = MaxMinLPBuilder()
+        assert builder.n_agents == 0
+        builder.add_agent("v")
+        assert builder.n_agents == 1
+
+
+class TestValidation:
+    def test_agent_without_resource_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="consumes no resource"):
+            MaxMinLP(["v"], {}, {("k", "v"): 1.0})
+
+    def test_agent_without_resource_allowed_when_not_validating(self):
+        problem = MaxMinLP(["v"], {}, {("k", "v"): 1.0}, validate=False)
+        assert problem.agent_resources("v") == frozenset()
+
+    def test_duplicate_agents_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="duplicate agent"):
+            MaxMinLP(["v", "v"], {("i", "v"): 1.0}, {("k", "v"): 1.0})
+
+    def test_unknown_agent_in_coefficients_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="unknown agent"):
+            MaxMinLP(["v"], {("i", "w"): 1.0}, {})
+
+    def test_unknown_resource_rejected_with_explicit_resources(self):
+        with pytest.raises(InvalidInstanceError, match="unknown resource"):
+            MaxMinLP(["v"], {("i", "v"): 1.0}, {}, resources=["other"])
+
+    def test_negative_consumption_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="negative consumption"):
+            MaxMinLP(["v"], {("i", "v"): -1.0}, {("k", "v"): 1.0})
+
+    def test_empty_resource_support_rejected(self):
+        with pytest.raises(InvalidInstanceError, match="empty support"):
+            MaxMinLP(
+                ["v"],
+                {("i", "v"): 1.0},
+                {("k", "v"): 1.0},
+                resources=["i", "empty"],
+            )
+
+
+class TestSupportSets:
+    def test_support_sets_match_definition(self):
+        problem = build_small()
+        assert problem.resource_support("i1") == frozenset({"a", "b"})
+        assert problem.resource_support("i2") == frozenset({"b", "c"})
+        assert problem.beneficiary_support("k1") == frozenset({"a", "b"})
+        assert problem.beneficiary_support("k2") == frozenset({"c"})
+        assert problem.agent_resources("b") == frozenset({"i1", "i2"})
+        assert problem.agent_beneficiaries("a") == frozenset({"k1"})
+        assert problem.agent_beneficiaries("c") == frozenset({"k2"})
+
+    def test_degree_bounds(self):
+        problem = build_small()
+        bounds = problem.degree_bounds()
+        assert bounds.max_resource_support == 2  # Δ_I^V
+        assert bounds.max_beneficiary_support == 2  # Δ_K^V
+        assert bounds.max_resources_per_agent == 2  # Δ_V^I
+        assert bounds.max_beneficiaries_per_agent == 1  # Δ_V^K
+        as_dict = bounds.as_dict()
+        assert as_dict == {
+            "delta_VI": 2,
+            "delta_VK": 2,
+            "delta_IV": 2,
+            "delta_KV": 1,
+        }
+
+
+class TestMatricesAndEvaluation:
+    def test_matrix_shapes_and_entries(self):
+        problem = build_small()
+        A = problem.A.toarray()
+        C = problem.C.toarray()
+        assert A.shape == (2, 3)
+        assert C.shape == (2, 3)
+        assert A[problem.resource_position("i1"), problem.agent_position("b")] == 2.0
+        assert C[problem.beneficiary_position("k2"), problem.agent_position("c")] == 2.0
+
+    def test_to_array_and_from_array_roundtrip(self):
+        problem = build_small()
+        x = {"a": 0.25, "b": 0.5, "c": 0.75}
+        arr = problem.to_array(x)
+        assert problem.from_array(arr) == x
+
+    def test_to_array_missing_agents_default_to_zero(self):
+        problem = build_small()
+        arr = problem.to_array({"a": 1.0})
+        assert arr[problem.agent_position("b")] == 0.0
+
+    def test_to_array_unknown_agent_raises(self):
+        problem = build_small()
+        with pytest.raises(KeyError):
+            problem.to_array({"nope": 1.0})
+
+    def test_from_array_wrong_length_raises(self):
+        problem = build_small()
+        with pytest.raises(ValueError):
+            problem.from_array([1.0, 2.0])
+
+    def test_resource_usage_and_benefits(self):
+        problem = build_small()
+        x = {"a": 0.5, "b": 0.25, "c": 0.5}
+        usage = problem.resource_usage(x)
+        benefits = problem.benefits(x)
+        assert usage[problem.resource_position("i1")] == pytest.approx(0.5 + 2 * 0.25)
+        assert usage[problem.resource_position("i2")] == pytest.approx(0.25 + 0.5)
+        assert benefits[problem.beneficiary_position("k1")] == pytest.approx(0.5 + 0.125)
+        assert benefits[problem.beneficiary_position("k2")] == pytest.approx(1.0)
+
+    def test_objective_is_minimum_benefit(self):
+        problem = build_small()
+        x = {"a": 0.5, "b": 0.25, "c": 0.5}
+        assert problem.objective(x) == pytest.approx(0.625)
+
+    def test_objective_without_beneficiaries_is_infinite(self):
+        problem = MaxMinLP(["v"], {("i", "v"): 1.0}, {}, validate=False)
+        assert problem.objective({"v": 1.0}) == float("inf")
+
+    def test_feasibility_checks(self):
+        problem = build_small()
+        assert problem.is_feasible({"a": 0.0, "b": 0.0, "c": 0.0})
+        assert problem.is_feasible({"a": 1.0, "b": 0.0, "c": 1.0})
+        assert not problem.is_feasible({"a": 2.0, "b": 0.0, "c": 0.0})
+        assert not problem.is_feasible({"a": -0.5, "b": 0.0, "c": 0.0})
+
+    def test_violation_measures_worst_excess(self):
+        problem = build_small()
+        assert problem.violation({"a": 0.0, "b": 0.0, "c": 0.0}) == 0.0
+        assert problem.violation({"a": 2.0, "b": 0.0, "c": 0.0}) == pytest.approx(1.0)
+        assert problem.violation({"a": -0.25, "b": 0.0, "c": 0.0}) == pytest.approx(0.25)
+
+    def test_accepts_numpy_vectors_directly(self):
+        problem = build_small()
+        vec = np.zeros(3)
+        assert problem.is_feasible(vec)
+        assert problem.objective(vec) == 0.0
+
+
+class TestSubInstances:
+    def test_induced_subinstance_keeps_only_contained_supports(self):
+        problem = build_small()
+        sub = problem.induced_subinstance({"a", "b"})
+        assert set(sub.agents) == {"a", "b"}
+        assert set(sub.resources) == {"i1"}
+        assert set(sub.beneficiaries) == {"k1"}
+        assert sub.consumption("i1", "b") == 2.0
+
+    def test_induced_subinstance_unknown_agent_raises(self):
+        problem = build_small()
+        with pytest.raises(KeyError):
+            problem.induced_subinstance({"a", "zzz"})
+
+    def test_local_subproblem_clips_resources_keeps_full_beneficiaries(self):
+        problem = build_small()
+        local = problem.local_subproblem({"b", "c"})
+        # Both resources touch the view, but i1 is clipped to {b}.
+        assert set(local.resources) == {"i1", "i2"}
+        assert local.resource_support("i1") == frozenset({"b"})
+        assert local.resource_support("i2") == frozenset({"b", "c"})
+        # k1's support {a, b} is not inside the view -> dropped; k2 kept.
+        assert set(local.beneficiaries) == {"k2"}
+
+    def test_local_subproblem_is_canonically_ordered(self):
+        problem = build_small()
+        local1 = problem.local_subproblem(["c", "b"])
+        local2 = problem.local_subproblem(["b", "c"])
+        assert local1.agents == local2.agents
+        assert local1.resources == local2.resources
+        assert local1.beneficiaries == local2.beneficiaries
+
+    def test_subinstance_of_everything_is_equal(self):
+        problem = build_small()
+        sub = problem.induced_subinstance(problem.agents)
+        assert sub == problem
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        a = build_small()
+        b = build_small()
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != "not a problem"
+
+    def test_repr_contains_sizes(self):
+        assert "n_agents=3" in repr(build_small())

@@ -1,0 +1,81 @@
+"""Unit tests for the safe algorithm (Section 4, eq. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    MaxMinLPBuilder,
+    approximation_ratio,
+    optimal_objective,
+    safe_approximation_guarantee,
+    safe_solution,
+    safe_value,
+)
+
+
+class TestSafeValues:
+    def test_hand_computed_values(self):
+        # Resource "i" shared by two agents with different coefficients:
+        # x_a = 1/(1*2) = 0.5, x_b = min(1/(2*2), 1/(1*1)) = 0.25.
+        builder = MaxMinLPBuilder()
+        builder.set_consumption("i", "a", 1.0)
+        builder.set_consumption("i", "b", 2.0)
+        builder.set_consumption("j", "b", 1.0)
+        builder.set_benefit("k", "a", 1.0)
+        builder.set_benefit("k", "b", 1.0)
+        problem = builder.build()
+        assert safe_value(problem, "a") == pytest.approx(0.5)
+        assert safe_value(problem, "b") == pytest.approx(0.25)
+
+    def test_agent_without_resources_gets_zero(self):
+        builder = MaxMinLPBuilder()
+        builder.set_consumption("i", "a", 1.0)
+        builder.set_benefit("k", "a", 1.0)
+        builder.set_benefit("k", "b", 1.0)
+        problem = builder.build(validate=False)
+        assert safe_value(problem, "b") == 0.0
+
+    def test_guarantee_is_max_resource_support(self, grid4x4):
+        assert safe_approximation_guarantee(grid4x4) == max(
+            len(grid4x4.resource_support(i)) for i in grid4x4.resources
+        )
+
+
+class TestSafeFeasibilityAndRatio:
+    @pytest.mark.parametrize(
+        "fixture",
+        ["tiny_instance", "cycle8", "path6", "grid4x4", "random_instance", "disk_instance"],
+    )
+    def test_safe_is_always_feasible(self, fixture, request):
+        problem = request.getfixturevalue(fixture)
+        x = safe_solution(problem)
+        assert problem.is_feasible(problem.to_array(x))
+
+    @pytest.mark.parametrize(
+        "fixture", ["tiny_instance", "cycle8", "path6", "grid4x4", "random_instance"]
+    )
+    def test_safe_ratio_within_guarantee(self, fixture, request):
+        problem = request.getfixturevalue(fixture)
+        optimum = optimal_objective(problem)
+        achieved = problem.objective(problem.to_array(safe_solution(problem)))
+        ratio = approximation_ratio(optimum, achieved)
+        assert ratio <= safe_approximation_guarantee(problem) + 1e-9
+
+    def test_safe_is_optimal_on_symmetric_cycle(self, cycle8):
+        # On the unit cycle every agent gets 1/2 and every beneficiary 3/2,
+        # which is globally optimal.
+        x = safe_solution(cycle8)
+        assert all(value == pytest.approx(0.5) for value in x.values())
+        assert cycle8.objective(cycle8.to_array(x)) == pytest.approx(1.5)
+        assert optimal_objective(cycle8) == pytest.approx(1.5)
+
+    def test_safe_ratio_can_approach_guarantee(self, lb_construction):
+        # On the Section 4 construction the safe algorithm gives every agent
+        # 1/(d+1); the optimum of the sub-instance is 1, so the ratio on the
+        # full instance is at least d/2 -- well above 1.
+        problem = lb_construction.problem
+        x = safe_solution(problem)
+        assert problem.is_feasible(problem.to_array(x))
+        expected = 1.0 / (lb_construction.d + 1)
+        assert all(value == pytest.approx(expected) for value in x.values())

@@ -1,0 +1,67 @@
+"""Unit tests for solution evaluation and approximation ratios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import approximation_ratio, evaluate_solution, optimal_solution
+
+
+class TestApproximationRatio:
+    def test_basic_ratio(self):
+        assert approximation_ratio(2.0, 1.0) == pytest.approx(2.0)
+        assert approximation_ratio(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_zero_optimum_gives_ratio_one(self):
+        assert approximation_ratio(0.0, 0.0) == 1.0
+
+    def test_zero_achieved_with_positive_optimum_is_infinite(self):
+        assert approximation_ratio(1.0, 0.0) == float("inf")
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            approximation_ratio(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            approximation_ratio(1.0, -1.0)
+
+
+class TestEvaluateSolution:
+    def test_feasible_solution_report(self, tiny_instance):
+        report = evaluate_solution(tiny_instance, {"v1": 0.5, "v2": 0.5})
+        assert report.feasible
+        assert report.objective == pytest.approx(1.0)
+        assert report.violation == 0.0
+        assert report.max_resource_usage == pytest.approx(1.0)
+        assert report.min_benefit == pytest.approx(1.0)
+        assert report.max_benefit == pytest.approx(1.0)
+        assert report.ratio is None
+        assert report.values == {"v1": 0.5, "v2": 0.5}
+
+    def test_infeasible_solution_flagged(self, tiny_instance):
+        report = evaluate_solution(tiny_instance, {"v1": 1.0, "v2": 0.5})
+        assert not report.feasible
+        assert report.violation == pytest.approx(0.5)
+
+    def test_ratio_against_supplied_optimum(self, asymmetric_instance):
+        opt = optimal_solution(asymmetric_instance).objective
+        report = evaluate_solution(
+            asymmetric_instance, {"v1": 0.25, "v2": 0.25}, optimum=opt
+        )
+        assert report.ratio == pytest.approx(2.0)
+
+    def test_missing_agents_count_as_zero(self, asymmetric_instance):
+        report = evaluate_solution(asymmetric_instance, {"v1": 0.5})
+        assert report.objective == 0.0
+        assert report.feasible
+
+    def test_inconsistent_optimum_raises(self, tiny_instance):
+        # A feasible solution cannot beat the claimed optimum; ratio < 1 must
+        # be rejected as a programming error.
+        with pytest.raises(ValueError, match="inconsistent"):
+            evaluate_solution(tiny_instance, {"v1": 0.5, "v2": 0.5}, optimum=0.5)
+
+    def test_ratio_for_optimal_solution_is_one(self, cycle8):
+        opt = optimal_solution(cycle8)
+        report = evaluate_solution(cycle8, opt.x, optimum=opt.objective)
+        assert report.ratio == pytest.approx(1.0, abs=1e-6)
+        assert report.feasible

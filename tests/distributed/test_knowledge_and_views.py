@@ -1,0 +1,92 @@
+"""Unit tests for startup knowledge records and locally assembled views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import communication_hypergraph
+from repro.distributed import LocalKnowledge, LocalView, initial_knowledge
+
+
+class TestInitialKnowledge:
+    def test_every_agent_has_a_record(self, cycle8):
+        knowledge = initial_knowledge(cycle8)
+        assert set(knowledge) == set(cycle8.agents)
+
+    def test_record_contents_match_problem(self, cycle8):
+        knowledge = initial_knowledge(cycle8)
+        H = communication_hypergraph(cycle8)
+        for v in cycle8.agents:
+            record = knowledge[v]
+            assert record.agent == v
+            assert record.consumption == {
+                i: cycle8.consumption(i, v) for i in cycle8.agent_resources(v)
+            }
+            assert record.benefit == {
+                k: cycle8.benefit(k, v) for k in cycle8.agent_beneficiaries(v)
+            }
+            assert record.neighbours == H.neighbours(v)
+
+    def test_record_size_counts_fields(self):
+        record = LocalKnowledge(
+            agent="v",
+            consumption={"i": 1.0, "j": 2.0},
+            benefit={"k": 1.0},
+            neighbours=frozenset({"a", "b", "c"}),
+        )
+        assert record.record_size == 1 + 2 + 1 + 3
+
+    def test_accepts_prebuilt_hypergraph(self, cycle8):
+        H = communication_hypergraph(cycle8, collaboration_oblivious=True)
+        knowledge = initial_knowledge(cycle8, H)
+        # In the oblivious graph each agent only sees resource-mates.
+        for v in cycle8.agents:
+            assert knowledge[v].neighbours == H.neighbours(v)
+
+
+class TestLocalView:
+    def make_view(self, problem, center, radius):
+        H = communication_hypergraph(problem)
+        knowledge = initial_knowledge(problem, H)
+        ball = H.ball(center, radius)
+        return LocalView(
+            center=center, radius=radius, knowledge={v: knowledge[v] for v in ball}
+        ), H
+
+    def test_ball_reconstruction_matches_global(self, grid4x4):
+        center = grid4x4.agents[5]
+        view, H = self.make_view(grid4x4, center, 2)
+        assert view.ball(center, 1) == H.ball(center, 1)
+        assert view.ball(center, 2) == H.ball(center, 2)
+
+    def test_ball_of_inner_agent_is_exact(self, grid4x4):
+        center = grid4x4.agents[5]
+        view, H = self.make_view(grid4x4, center, 3)
+        for u in view.ball(center, 1):
+            assert view.ball(u, 1) == H.ball(u, 1)
+
+    def test_unknown_source_raises(self, grid4x4):
+        view, _H = self.make_view(grid4x4, grid4x4.agents[0], 1)
+        with pytest.raises(KeyError):
+            view.distances(("not", "there"), cutoff=1)
+
+    def test_window_problem_contains_known_coefficients(self, cycle8):
+        center = cycle8.agents[0]
+        view, H = self.make_view(cycle8, center, 2)
+        window = view.window_problem()
+        assert set(window.agents) == set(view.knowledge)
+        for v in window.agents:
+            assert window.agent_resources(v) == cycle8.agent_resources(v)
+            for i in window.agent_resources(v):
+                assert window.consumption(i, v) == cycle8.consumption(i, v)
+
+    def test_window_problem_is_canonically_ordered(self, cycle8):
+        center = cycle8.agents[0]
+        view, _H = self.make_view(cycle8, center, 2)
+        window = view.window_problem()
+        assert list(window.agents) == sorted(window.agents, key=repr)
+        assert list(window.resources) == sorted(window.resources, key=repr)
+
+    def test_len_is_number_of_known_agents(self, cycle8):
+        view, H = self.make_view(cycle8, cycle8.agents[0], 1)
+        assert len(view) == len(H.ball(cycle8.agents[0], 1))

@@ -1,0 +1,77 @@
+"""Integration tests: node programs reproduce the centralised algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    grid_instance,
+    local_averaging_solution,
+    path_instance,
+    safe_solution,
+    unit_disk_instance,
+)
+from repro.distributed import LocalAveragingProgram, SafeProgram, SynchronousSimulator
+
+
+class TestSafeProgram:
+    @pytest.mark.parametrize(
+        "fixture", ["tiny_instance", "cycle8", "path6", "grid4x4", "random_instance"]
+    )
+    def test_matches_centralised_safe_algorithm(self, fixture, request):
+        problem = request.getfixturevalue(fixture)
+        result = SynchronousSimulator(problem).run(SafeProgram())
+        central = safe_solution(problem)
+        for v in problem.agents:
+            assert result.x[v] == pytest.approx(central[v], abs=1e-12)
+
+    def test_uses_one_round(self, cycle8):
+        result = SynchronousSimulator(cycle8).run(SafeProgram())
+        assert result.rounds == 1
+        assert result.feasible
+
+
+class TestLocalAveragingProgram:
+    @pytest.mark.parametrize("R", [1, 2])
+    def test_matches_centralised_on_cycle(self, cycle8, R):
+        result = SynchronousSimulator(cycle8).run(LocalAveragingProgram(R))
+        central = local_averaging_solution(cycle8, R)
+        for v in cycle8.agents:
+            assert result.x[v] == pytest.approx(central.x[v], abs=1e-9)
+        assert result.rounds == 2 * R + 1
+
+    def test_matches_centralised_on_grid(self):
+        problem = grid_instance((3, 4))
+        result = SynchronousSimulator(problem).run(LocalAveragingProgram(1))
+        central = local_averaging_solution(problem, 1)
+        for v in problem.agents:
+            assert result.x[v] == pytest.approx(central.x[v], abs=1e-9)
+
+    def test_matches_centralised_on_path(self):
+        problem = path_instance(7)
+        result = SynchronousSimulator(problem).run(LocalAveragingProgram(2))
+        central = local_averaging_solution(problem, 2)
+        for v in problem.agents:
+            assert result.x[v] == pytest.approx(central.x[v], abs=1e-9)
+
+    def test_matches_centralised_on_disk_instance(self):
+        problem = unit_disk_instance(16, radius=0.3, max_support=5, seed=4)
+        result = SynchronousSimulator(problem).run(LocalAveragingProgram(1))
+        central = local_averaging_solution(problem, 1)
+        for v in problem.agents:
+            assert result.x[v] == pytest.approx(central.x[v], abs=1e-9)
+
+    def test_output_is_feasible(self, grid4x4):
+        result = SynchronousSimulator(grid4x4).run(LocalAveragingProgram(1))
+        assert result.feasible
+
+    def test_rejects_invalid_radius(self):
+        with pytest.raises(ValueError):
+            LocalAveragingProgram(0)
+
+    def test_message_volume_grows_with_radius(self, grid4x4):
+        sim = SynchronousSimulator(grid4x4)
+        small = sim.run(LocalAveragingProgram(1))
+        large = sim.run(LocalAveragingProgram(2))
+        assert large.total_payload > small.total_payload
+        assert large.rounds > small.rounds

@@ -1,0 +1,121 @@
+"""Unit tests for the synchronous message-passing simulator."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import pytest
+
+from repro import communication_hypergraph
+from repro.distributed import (
+    KnowledgeFloodingProgram,
+    NodeProgram,
+    SynchronousSimulator,
+)
+
+
+class CountingProgram(NodeProgram):
+    """A minimal program: flood nothing, output the agent's degree."""
+
+    @property
+    def rounds(self) -> int:
+        return 0
+
+    def initialise(self, knowledge):
+        return {"degree": len(knowledge.neighbours)}
+
+    def outgoing(self, state, round_index):  # pragma: no cover - zero rounds
+        return None
+
+    def receive(self, state, round_index, inbox):  # pragma: no cover
+        pass
+
+    def finalise(self, state):
+        return float(state["degree"])
+
+
+class EchoProgram(NodeProgram):
+    """One round: every agent broadcasts 1.0 and outputs the sum received."""
+
+    @property
+    def rounds(self) -> int:
+        return 1
+
+    def initialise(self, knowledge):
+        return {"received": 0.0}
+
+    def outgoing(self, state, round_index):
+        return 1.0
+
+    def receive(self, state, round_index, inbox: Dict[Any, Any]):
+        state["received"] += sum(inbox.values())
+
+    def finalise(self, state):
+        return state["received"]
+
+
+class GatherOnlyProgram(KnowledgeFloodingProgram):
+    """Flooding program whose output is the size of the assembled view."""
+
+    def compute(self, view):
+        return float(len(view))
+
+
+class TestSimulatorMechanics:
+    def test_zero_round_program(self, cycle8):
+        sim = SynchronousSimulator(cycle8)
+        result = sim.run(CountingProgram())
+        H = communication_hypergraph(cycle8)
+        assert result.rounds == 0
+        assert result.messages_sent == 0
+        for v in cycle8.agents:
+            assert result.x[v] == H.degree(v)
+
+    def test_message_accounting_for_broadcast(self, cycle8):
+        sim = SynchronousSimulator(cycle8)
+        result = sim.run(EchoProgram())
+        H = communication_hypergraph(cycle8)
+        total_degree = sum(H.degree(v) for v in cycle8.agents)
+        assert result.messages_sent == total_degree
+        # Every agent receives one unit from each neighbour.
+        for v in cycle8.agents:
+            assert result.x[v] == H.degree(v)
+
+    def test_flooding_gathers_exactly_the_ball(self, grid4x4):
+        H = communication_hypergraph(grid4x4)
+        sim = SynchronousSimulator(grid4x4, hypergraph=H)
+        for radius in (0, 1, 2):
+            result = sim.run(GatherOnlyProgram(radius))
+            for v in grid4x4.agents:
+                assert result.x[v] == len(H.ball(v, radius))
+
+    def test_result_reports_objective_and_feasibility(self, cycle8):
+        sim = SynchronousSimulator(cycle8)
+        result = sim.run(CountingProgram())
+        # Every agent outputs its degree (4), which overloads the unit edges.
+        assert not result.feasible
+        assert result.objective == pytest.approx(12.0)
+
+    def test_collaboration_oblivious_graph_is_used(self, cycle8):
+        sim = SynchronousSimulator(cycle8, collaboration_oblivious=True)
+        result = sim.run(CountingProgram())
+        # Only the edge resources remain: degree 2 everywhere.
+        assert all(value == 2.0 for value in result.x.values())
+
+    def test_deterministic_across_runs(self, grid4x4):
+        sim = SynchronousSimulator(grid4x4)
+        a = sim.run(GatherOnlyProgram(2))
+        b = sim.run(GatherOnlyProgram(2))
+        assert a.x == b.x
+        assert a.messages_sent == b.messages_sent
+
+    def test_flooding_program_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            GatherOnlyProgram(-1)
+
+    def test_payload_statistics_present(self, cycle8):
+        sim = SynchronousSimulator(cycle8)
+        result = sim.run(GatherOnlyProgram(2))
+        assert result.total_payload > 0
+        assert result.max_message_payload > 0
+        assert result.average_payload_per_message > 0

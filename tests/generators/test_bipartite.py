@@ -1,0 +1,183 @@
+"""Unit tests for regular bipartite graphs with girth guarantees."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro import ConstructionError
+from repro.generators import (
+    complete_bipartite_regular,
+    cycle_bipartite,
+    girth,
+    is_regular_bipartite,
+    projective_plane_incidence,
+    random_regular_bipartite,
+    regular_bipartite_with_girth,
+)
+
+
+class TestGirth:
+    def test_forest_has_infinite_girth(self):
+        g = nx.path_graph(6)
+        assert girth(g) == math.inf
+
+    def test_triangle(self):
+        assert girth(nx.cycle_graph(3)) == 3
+
+    def test_even_cycle(self):
+        assert girth(nx.cycle_graph(8)) == 8
+
+    def test_odd_cycle(self):
+        assert girth(nx.cycle_graph(7)) == 7
+
+    def test_complete_bipartite(self):
+        assert girth(nx.complete_bipartite_graph(3, 3)) == 4
+
+    def test_petersen_graph(self):
+        assert girth(nx.petersen_graph()) == 5
+
+    def test_cycle_with_chord(self):
+        g = nx.cycle_graph(8)
+        g.add_edge(0, 3)
+        assert girth(g) == 4
+
+    def test_matches_networkx_on_random_graphs(self):
+        for seed in range(5):
+            g = nx.gnp_random_graph(14, 0.25, seed=seed)
+            expected = nx.girth(g) if g.number_of_edges() else math.inf
+            assert girth(g) == expected
+
+
+class TestExplicitConstructions:
+    def test_cycle_bipartite(self):
+        g = cycle_bipartite(5)
+        assert is_regular_bipartite(g, 2)
+        assert girth(g) == 10
+
+    def test_cycle_bipartite_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_bipartite(1)
+
+    def test_complete_bipartite_regular(self):
+        g = complete_bipartite_regular(3)
+        assert is_regular_bipartite(g, 3)
+        assert girth(g) == 4
+
+    @pytest.mark.parametrize("q", [2, 3, 5])
+    def test_projective_plane(self, q):
+        g = projective_plane_incidence(q)
+        n = q * q + q + 1
+        assert g.number_of_nodes() == 2 * n
+        assert is_regular_bipartite(g, q + 1)
+        assert girth(g) == 6
+
+    def test_projective_plane_requires_prime(self):
+        with pytest.raises(ConstructionError):
+            projective_plane_incidence(6)
+
+
+class TestRandomConstruction:
+    def test_random_regular_bipartite(self):
+        g = random_regular_bipartite(12, 3, seed=0)
+        assert is_regular_bipartite(g, 3)
+        assert g.number_of_edges() == 36
+
+    def test_random_regular_bipartite_reproducible(self):
+        a = random_regular_bipartite(10, 3, seed=5)
+        b = random_regular_bipartite(10, 3, seed=5)
+        assert set(a.edges) == set(b.edges)
+
+    def test_degree_larger_than_side_rejected(self):
+        with pytest.raises(ConstructionError):
+            random_regular_bipartite(2, 3)
+
+
+class TestGirthSearcher:
+    def test_degree_one(self):
+        g = regular_bipartite_with_girth(1, 6)
+        assert is_regular_bipartite(g, 1)
+        assert girth(g) == math.inf
+
+    def test_degree_two_long_girth(self):
+        g = regular_bipartite_with_girth(2, 14)
+        assert is_regular_bipartite(g, 2)
+        assert girth(g) >= 14
+
+    def test_girth_four_uses_complete_bipartite(self):
+        g = regular_bipartite_with_girth(5, 4)
+        assert is_regular_bipartite(g, 5)
+        assert girth(g) >= 4
+
+    @pytest.mark.parametrize("degree", [3, 4, 6, 8])
+    def test_girth_six_explicit(self, degree):
+        # degree - 1 is prime for these values, so the projective plane is used.
+        g = regular_bipartite_with_girth(degree, 6, seed=1)
+        assert is_regular_bipartite(g, degree)
+        assert girth(g) >= 6
+
+    @pytest.mark.parametrize("degree", [5, 7, 10])
+    def test_girth_six_sidon_fallback(self, degree):
+        # degree - 1 is composite for these values, so the Sidon circulant
+        # construction is used instead of the projective plane.
+        g = regular_bipartite_with_girth(degree, 6, seed=3)
+        assert is_regular_bipartite(g, degree)
+        assert girth(g) >= 6
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ConstructionError):
+            regular_bipartite_with_girth(3, 10, n_side=4, seed=0)
+
+
+class TestSidonCirculant:
+    @pytest.mark.parametrize("degree", [1, 2, 3, 5, 8])
+    def test_regular_and_girth_six(self, degree):
+        from repro.generators import sidon_circulant_bipartite
+
+        g = sidon_circulant_bipartite(degree)
+        assert is_regular_bipartite(g, degree)
+        if degree >= 2:
+            assert girth(g) >= 6
+
+    def test_explicit_modulus(self):
+        from repro.generators import sidon_circulant_bipartite
+
+        g = sidon_circulant_bipartite(3, n=20)
+        assert g.number_of_nodes() == 40
+        assert is_regular_bipartite(g, 3)
+
+    def test_too_small_modulus_raises(self):
+        from repro.generators import sidon_circulant_bipartite
+
+        with pytest.raises(ConstructionError):
+            sidon_circulant_bipartite(5, n=6)
+
+    def test_invalid_degree(self):
+        from repro.generators import sidon_circulant_bipartite
+
+        with pytest.raises(ValueError):
+            sidon_circulant_bipartite(0)
+
+
+class TestIsRegularBipartite:
+    def test_rejects_untagged_graph(self):
+        assert not is_regular_bipartite(nx.cycle_graph(4))
+
+    def test_rejects_irregular(self):
+        g = nx.Graph()
+        g.add_edge(("L", 0), ("R", 0))
+        g.add_edge(("L", 0), ("R", 1))
+        assert not is_regular_bipartite(g)
+
+    def test_rejects_same_side_edge(self):
+        g = nx.Graph()
+        g.add_edge(("L", 0), ("L", 1))
+        g.add_edge(("R", 0), ("R", 1))
+        assert not is_regular_bipartite(g)
+
+    def test_degree_check(self):
+        g = cycle_bipartite(4)
+        assert is_regular_bipartite(g, 2)
+        assert not is_regular_bipartite(g, 3)

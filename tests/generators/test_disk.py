@@ -1,0 +1,69 @@
+"""Unit tests for the unit-disk instance generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import unit_disk_instance
+from repro.generators import geometric_neighbourhoods, unit_disk_points
+
+
+class TestPointsAndNeighbourhoods:
+    def test_points_shape_and_range(self):
+        pts = unit_disk_points(50, seed=1)
+        assert pts.shape == (50, 2)
+        assert np.all(pts >= 0.0) and np.all(pts <= 1.0)
+
+    def test_points_reproducible(self):
+        assert np.array_equal(unit_disk_points(10, seed=2), unit_disk_points(10, seed=2))
+
+    def test_neighbourhoods_contain_self_first(self):
+        pts = np.array([[0.0, 0.0], [0.05, 0.0], [0.9, 0.9]])
+        nbrs = geometric_neighbourhoods(pts, 0.1)
+        assert nbrs[0][0] == 0
+        assert set(nbrs[0]) == {0, 1}
+        assert nbrs[2] == [2]
+
+    def test_neighbourhood_cap(self):
+        pts = np.array([[0.0, 0.0], [0.01, 0.0], [0.02, 0.0], [0.03, 0.0]])
+        nbrs = geometric_neighbourhoods(pts, 0.5, max_size=2)
+        assert all(len(n) == 2 for n in nbrs)
+        # Capping keeps the nearest points.
+        assert nbrs[0] == [0, 1]
+
+    def test_symmetry_without_cap(self):
+        pts = unit_disk_points(30, seed=3)
+        nbrs = geometric_neighbourhoods(pts, 0.25)
+        for v, members in enumerate(nbrs):
+            for u in members:
+                assert v in nbrs[u]
+
+
+class TestUnitDiskInstance:
+    def test_sizes_and_bounds(self):
+        problem = unit_disk_instance(40, radius=0.2, max_support=6, seed=5)
+        assert problem.n_agents == 40
+        assert problem.degree_bounds().max_resource_support <= 6
+
+    def test_reproducibility(self):
+        a = unit_disk_instance(20, seed=7)
+        b = unit_disk_instance(20, seed=7)
+        assert a == b
+
+    def test_every_agent_constrained(self):
+        problem = unit_disk_instance(30, radius=0.15, seed=8)
+        assert all(problem.agent_resources(v) for v in problem.agents)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            unit_disk_instance(0)
+        with pytest.raises(ValueError):
+            unit_disk_instance(5, radius=0.0)
+        with pytest.raises(ValueError):
+            unit_disk_instance(5, weights="bogus")
+
+    def test_random_weights(self):
+        problem = unit_disk_instance(10, weights="random", seed=9)
+        values = [v for _k, v in problem.consumption_items()]
+        assert any(v != 1.0 for v in values)

@@ -1,0 +1,85 @@
+"""Unit tests for grid / torus instance generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import grid_instance
+from repro.generators import grid_neighbours, torus_instance
+
+
+class TestGridNeighbours:
+    def test_interior_cell_2d(self):
+        nbrs = grid_neighbours((1, 1), (3, 3))
+        assert set(nbrs) == {(0, 1), (2, 1), (1, 0), (1, 2)}
+
+    def test_corner_cell_2d(self):
+        nbrs = grid_neighbours((0, 0), (3, 3))
+        assert set(nbrs) == {(1, 0), (0, 1)}
+
+    def test_torus_wraps(self):
+        nbrs = grid_neighbours((0, 0), (3, 3), torus=True)
+        assert set(nbrs) == {(2, 0), (1, 0), (0, 2), (0, 1)}
+
+    def test_one_dimensional(self):
+        assert set(grid_neighbours((0,), (5,))) == {(1,)}
+        assert set(grid_neighbours((0,), (5,), torus=True)) == {(1,), (4,)}
+
+    def test_degenerate_axis(self):
+        # A length-1 torus axis must not produce a self-loop.
+        assert grid_neighbours((0,), (1,), torus=True) == []
+
+
+class TestGridInstance:
+    def test_sizes(self):
+        problem = grid_instance((3, 4))
+        assert problem.n_agents == 12
+        assert problem.n_resources == 12
+        assert problem.n_beneficiaries == 12
+
+    def test_supports_are_closed_neighbourhoods(self):
+        problem = grid_instance((3, 3))
+        support = problem.resource_support(("r", (1, 1)))
+        assert support == frozenset({(1, 1), (0, 1), (2, 1), (1, 0), (1, 2)})
+        assert problem.beneficiary_support(("k", (0, 0))) == frozenset(
+            {(0, 0), (1, 0), (0, 1)}
+        )
+
+    def test_degree_bounds_2d(self):
+        bounds = grid_instance((5, 5)).degree_bounds()
+        assert bounds.max_resource_support == 5
+        assert bounds.max_beneficiary_support == 5
+        assert bounds.max_resources_per_agent == 5
+        assert bounds.max_beneficiaries_per_agent == 5
+
+    def test_torus_is_regular(self):
+        problem = torus_instance((4, 4))
+        assert all(len(problem.resource_support(i)) == 5 for i in problem.resources)
+        assert all(
+            len(problem.agent_resources(v)) == 5 for v in problem.agents
+        )
+
+    def test_random_weights_are_reproducible(self):
+        a = grid_instance((3, 3), weights="random", seed=11)
+        b = grid_instance((3, 3), weights="random", seed=11)
+        c = grid_instance((3, 3), weights="random", seed=12)
+        assert a == b
+        assert a != c
+
+    def test_unit_weights_are_all_one(self):
+        problem = grid_instance((3, 3))
+        assert all(value == 1.0 for _key, value in problem.consumption_items())
+        assert all(value == 1.0 for _key, value in problem.benefit_items())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            grid_instance(())
+        with pytest.raises(ValueError):
+            grid_instance((0, 3))
+        with pytest.raises(ValueError):
+            grid_instance((3, 3), weights="bogus")
+
+    def test_three_dimensional_grid(self):
+        problem = grid_instance((2, 2, 2))
+        assert problem.n_agents == 8
+        assert problem.degree_bounds().max_resource_support == 4  # 3 neighbours + self

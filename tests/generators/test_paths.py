@@ -1,0 +1,62 @@
+"""Unit tests for path and cycle instance generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cycle_instance, optimal_objective, path_instance
+
+
+class TestPathInstance:
+    def test_sizes(self):
+        problem = path_instance(6)
+        assert problem.n_agents == 6
+        assert problem.n_resources == 5  # path edges
+        assert problem.n_beneficiaries == 6
+
+    def test_delta_vi_is_two(self):
+        assert path_instance(8).degree_bounds().max_resource_support == 2
+
+    def test_every_agent_constrained(self):
+        problem = path_instance(5)
+        assert all(problem.agent_resources(v) for v in problem.agents)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            path_instance(1)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            path_instance(4, weights="bogus")
+
+    def test_random_weights_reproducible(self):
+        assert path_instance(5, weights="random", seed=3) == path_instance(
+            5, weights="random", seed=3
+        )
+
+
+class TestCycleInstance:
+    def test_sizes(self):
+        problem = cycle_instance(7)
+        assert problem.n_agents == 7
+        assert problem.n_resources == 7
+        assert problem.n_beneficiaries == 7
+
+    def test_known_optimum(self):
+        # Unit cycle: x_v = 1/2 everywhere, each party sees 3 agents -> 1.5.
+        assert optimal_objective(cycle_instance(9)) == pytest.approx(1.5)
+
+    def test_delta_bounds(self):
+        bounds = cycle_instance(10).degree_bounds()
+        assert bounds.max_resource_support == 2
+        assert bounds.max_beneficiary_support == 3
+        assert bounds.max_resources_per_agent == 2
+        assert bounds.max_beneficiaries_per_agent == 3
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            cycle_instance(2)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            cycle_instance(5, weights="bogus")

@@ -1,0 +1,54 @@
+"""Unit tests for the random bounded-degree instance generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import random_bounded_degree_instance
+
+
+class TestRandomBoundedDegree:
+    def test_reproducibility(self):
+        a = random_bounded_degree_instance(20, seed=5)
+        b = random_bounded_degree_instance(20, seed=5)
+        c = random_bounded_degree_instance(20, seed=6)
+        assert a == b
+        assert a != c
+
+    def test_respects_support_bounds(self):
+        problem = random_bounded_degree_instance(
+            30, max_resource_support=4, max_beneficiary_support=2, seed=1
+        )
+        bounds = problem.degree_bounds()
+        assert bounds.max_resource_support <= 4
+        assert bounds.max_beneficiary_support <= 2
+
+    def test_every_agent_has_a_resource(self):
+        problem = random_bounded_degree_instance(25, n_resources=5, seed=2)
+        assert all(problem.agent_resources(v) for v in problem.agents)
+
+    def test_explicit_counts(self):
+        problem = random_bounded_degree_instance(
+            10, n_resources=4, n_beneficiaries=3, seed=0
+        )
+        assert problem.n_agents == 10
+        assert problem.n_beneficiaries == 3
+        # extra budget resources may be appended to cover lonely agents
+        assert problem.n_resources >= 4
+
+    def test_unit_weights(self):
+        problem = random_bounded_degree_instance(8, weights="unit", seed=4)
+        assert all(v == 1.0 for _k, v in problem.consumption_items())
+        assert all(v == 1.0 for _k, v in problem.benefit_items())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            random_bounded_degree_instance(0)
+        with pytest.raises(ValueError):
+            random_bounded_degree_instance(5, max_resource_support=0)
+        with pytest.raises(ValueError):
+            random_bounded_degree_instance(5, weights="bogus")
+
+    def test_support_bound_larger_than_agent_count_is_clipped(self):
+        problem = random_bounded_degree_instance(3, max_resource_support=10, seed=9)
+        assert problem.degree_bounds().max_resource_support <= 3

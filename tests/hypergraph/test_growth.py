@@ -1,0 +1,95 @@
+"""Unit tests for the relative growth γ(r) machinery (Section 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    communication_hypergraph,
+    cycle_instance,
+    grid_instance,
+    growth_profile,
+    relative_growth,
+    theorem3_ratio_bound,
+)
+from repro.hypergraph import Hypergraph
+
+
+class TestRelativeGrowth:
+    def test_growth_on_torus_cycle(self):
+        # The communication graph of the unit cycle instance connects each
+        # agent to the 2 agents on each side (resources + beneficiaries), so
+        # |B(v, r)| = 4r + 1 until wrap-around and γ(r) = (4r+5)/(4r+1).
+        problem = cycle_instance(30)
+        H = communication_hypergraph(problem)
+        assert relative_growth(H, 0) == pytest.approx(5.0)
+        assert relative_growth(H, 1) == pytest.approx(9.0 / 5.0)
+        assert relative_growth(H, 2) == pytest.approx(13.0 / 9.0)
+
+    def test_growth_decreases_on_grid(self):
+        problem = grid_instance((7, 7), torus=True)
+        H = communication_hypergraph(problem)
+        gammas = [relative_growth(H, r) for r in range(3)]
+        assert gammas[0] > gammas[1] > gammas[2] >= 1.0
+
+    def test_negative_radius_rejected(self):
+        h = Hypergraph(edges={"e": ["a", "b"]})
+        with pytest.raises(ValueError):
+            relative_growth(h, -1)
+
+    def test_growth_of_disconnected_graph_is_finite(self):
+        h = Hypergraph(edges={"e1": ["a", "b"], "e2": ["c", "d"]})
+        assert relative_growth(h, 0) == pytest.approx(2.0)
+        assert relative_growth(h, 1) == pytest.approx(1.0)
+
+
+class TestGrowthProfile:
+    def test_profile_matches_pointwise_computation(self, grid4x4):
+        H = communication_hypergraph(grid4x4)
+        profile = growth_profile(H, 3)
+        for r in range(4):
+            assert profile.gamma[r] == pytest.approx(relative_growth(H, r))
+
+    def test_ball_size_extremes(self, cycle8):
+        H = communication_hypergraph(cycle8)
+        profile = growth_profile(H, 2)
+        assert profile.min_ball_sizes[0] == 1
+        assert profile.max_ball_sizes[0] == 1
+        # On the symmetric cycle all balls of a given radius have equal size.
+        assert profile.min_ball_sizes[1] == profile.max_ball_sizes[1]
+
+    def test_ratio_bound_accessor(self, grid4x4):
+        H = communication_hypergraph(grid4x4)
+        profile = growth_profile(H, 3)
+        assert profile.ratio_bound(2) == pytest.approx(profile.gamma[1] * profile.gamma[2])
+        with pytest.raises(ValueError):
+            profile.ratio_bound(0)
+        with pytest.raises(ValueError):
+            profile.ratio_bound(10)
+
+    def test_negative_max_radius_rejected(self, grid4x4):
+        H = communication_hypergraph(grid4x4)
+        with pytest.raises(ValueError):
+            growth_profile(H, -1)
+
+
+class TestTheorem3Bound:
+    def test_bound_equals_product_of_growths(self, grid4x4):
+        H = communication_hypergraph(grid4x4)
+        assert theorem3_ratio_bound(H, 2) == pytest.approx(
+            relative_growth(H, 1) * relative_growth(H, 2)
+        )
+
+    def test_requires_positive_radius(self, grid4x4):
+        H = communication_hypergraph(grid4x4)
+        with pytest.raises(ValueError):
+            theorem3_ratio_bound(H, 0)
+
+    def test_bound_tends_to_one_on_large_torus(self):
+        # γ(r) = 1 + Θ(1/r) on the (1-dimensional) torus, so the bound
+        # approaches 1 as R grows -- the "local approximation scheme" regime.
+        problem = cycle_instance(60)
+        H = communication_hypergraph(problem)
+        bounds = [theorem3_ratio_bound(H, R) for R in (1, 2, 3, 4)]
+        assert bounds[0] > bounds[1] > bounds[2] > bounds[3]
+        assert bounds[3] < 2.0

@@ -1,0 +1,151 @@
+"""Unit tests for the Hypergraph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Hypergraph
+
+
+def triangle_path():
+    """Two triangles joined by a bridge hyperedge: a small hand-checkable graph."""
+    return Hypergraph(
+        nodes=["a", "b", "c", "d", "e", "f"],
+        edges={
+            "t1": ["a", "b", "c"],
+            "bridge": ["c", "d"],
+            "t2": ["d", "e", "f"],
+        },
+    )
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self):
+        h = triangle_path()
+        assert h.n_nodes == 6
+        assert h.n_edges == 3
+        assert set(h.edge_labels()) == {"t1", "bridge", "t2"}
+        assert h.edge_members("t1") == frozenset({"a", "b", "c"})
+
+    def test_nodes_only_in_edges_are_added(self):
+        h = Hypergraph(nodes=["x"], edges={"e": ["y", "z"]})
+        assert set(h.nodes) == {"x", "y", "z"}
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Hypergraph(edges={"e": []})
+
+    def test_duplicate_edge_label_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Hypergraph(edges=[("e", ["a"]), ("e", ["b"])])
+
+    def test_singleton_edge_contributes_no_adjacency(self):
+        h = Hypergraph(edges={"e": ["a"], "f": ["a", "b"]})
+        assert h.neighbours("a") == frozenset({"b"})
+
+    def test_incident_edges(self):
+        h = triangle_path()
+        assert h.incident_edges("c") == frozenset({"t1", "bridge"})
+        assert h.incident_edges("e") == frozenset({"t2"})
+
+
+class TestAdjacencyAndDegrees:
+    def test_neighbours(self):
+        h = triangle_path()
+        assert h.neighbours("a") == frozenset({"b", "c"})
+        assert h.neighbours("c") == frozenset({"a", "b", "d"})
+
+    def test_degree_and_max_degree(self):
+        h = triangle_path()
+        assert h.degree("a") == 2
+        assert h.degree("c") == 3
+        assert h.max_degree() == 3
+
+    def test_has_node(self):
+        h = triangle_path()
+        assert h.has_node("a")
+        assert not h.has_node("zzz")
+
+
+class TestDistances:
+    def test_distances_from(self):
+        h = triangle_path()
+        dist = h.distances_from("a")
+        assert dist == {"a": 0, "b": 1, "c": 1, "d": 2, "e": 3, "f": 3}
+
+    def test_distances_with_cutoff(self):
+        h = triangle_path()
+        dist = h.distances_from("a", cutoff=1)
+        assert set(dist) == {"a", "b", "c"}
+
+    def test_distance_pairs(self):
+        h = triangle_path()
+        assert h.distance("a", "a") == 0
+        assert h.distance("a", "f") == 3
+        assert h.distance("f", "a") == 3
+
+    def test_distance_disconnected(self):
+        h = Hypergraph(edges={"e1": ["a", "b"], "e2": ["c", "d"]})
+        assert h.distance("a", "c") == float("inf")
+
+    def test_unknown_vertex_raises(self):
+        h = triangle_path()
+        with pytest.raises(KeyError):
+            h.distances_from("zzz")
+        with pytest.raises(KeyError):
+            h.distance("zzz", "zzz")
+
+
+class TestBalls:
+    def test_ball_contents(self):
+        h = triangle_path()
+        assert h.ball("a", 0) == frozenset({"a"})
+        assert h.ball("a", 1) == frozenset({"a", "b", "c"})
+        assert h.ball("a", 2) == frozenset({"a", "b", "c", "d"})
+        assert h.ball("a", 10) == frozenset(h.nodes)
+
+    def test_ball_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            triangle_path().ball("a", -1)
+
+    def test_ball_sizes_are_cumulative(self):
+        h = triangle_path()
+        sizes = h.ball_sizes("a", 3)
+        assert sizes == [1, 3, 4, 6]
+        assert sizes == [len(h.ball("a", r)) for r in range(4)]
+
+
+class TestGlobalProperties:
+    def test_connectivity(self):
+        assert triangle_path().is_connected()
+        assert not Hypergraph(edges={"e1": ["a", "b"], "e2": ["c", "d"]}).is_connected()
+        assert Hypergraph().is_connected()
+
+    def test_connected_components(self):
+        h = Hypergraph(edges={"e1": ["a", "b"], "e2": ["c", "d"]})
+        components = h.connected_components()
+        assert sorted(map(sorted, components)) == [["a", "b"], ["c", "d"]]
+
+    def test_diameter(self):
+        assert triangle_path().diameter() == 3
+        assert Hypergraph(nodes=["a"]).diameter() == 0
+        assert (
+            Hypergraph(edges={"e1": ["a", "b"], "e2": ["c", "d"]}).diameter()
+            == float("inf")
+        )
+
+    def test_induced_subhypergraph(self):
+        h = triangle_path()
+        sub = h.induced_subhypergraph({"a", "b", "c", "d"})
+        assert set(sub.nodes) == {"a", "b", "c", "d"}
+        assert set(sub.edge_labels()) == {"t1", "bridge"}
+
+    def test_to_networkx(self):
+        g = triangle_path().to_networkx()
+        assert g.number_of_nodes() == 6
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("a", "d")
+
+    def test_primal_adjacency(self):
+        adj = triangle_path().primal_adjacency()
+        assert adj["c"] == frozenset({"a", "b", "d"})

@@ -1,0 +1,71 @@
+"""Integration tests for the Theorem 1 adversary harness (Section 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lowerbound import (
+    build_lower_bound_instance,
+    greedy_uniform_algorithm,
+    local_averaging_algorithm,
+    run_adversary,
+    safe_algorithm,
+)
+
+
+class TestAdversaryAgainstSafeAlgorithm:
+    def test_report_is_consistent(self, lb_construction):
+        report = run_adversary(safe_algorithm, lb_construction)
+        assert report.algorithm == "safe_algorithm"
+        assert report.witness_objective == pytest.approx(1.0)
+        assert report.optimum_on_Sprime >= 1.0 - 1e-9
+        assert report.objective_on_Sprime > 0
+        assert report.measured_ratio >= 1.0
+        assert report.finite_R_bound <= report.theorem1_bound + 1e-12
+
+    def test_safe_algorithm_loses_at_least_the_finite_R_bound(self, lb_construction):
+        # On the adversarial instance the safe algorithm gives every agent
+        # 1/(d+1) while the optimum is at least 1; Theorem 1's finite-R
+        # analysis promises a gap of at least the certified bound.
+        report = run_adversary(safe_algorithm, lb_construction)
+        assert report.measured_ratio >= report.finite_R_bound - 1e-9
+
+    def test_measured_ratio_close_to_delta_over_two_for_larger_delta(self):
+        construction = build_lower_bound_instance(4, 2, 1, seed=3)
+        report = run_adversary(safe_algorithm, construction)
+        # Corollary 2 regime: ratio at least Δ_I^V/2 = 2 asymptotically; the
+        # finite construction certifies a bit less but must beat 1.5.
+        assert report.measured_ratio >= 1.5
+
+
+class TestAdversaryAgainstOtherAlgorithms:
+    def test_greedy_uniform_also_bounded_away_from_optimal(self, lb_construction):
+        report = run_adversary(greedy_uniform_algorithm, lb_construction)
+        assert report.measured_ratio >= report.finite_R_bound - 1e-9
+
+    def test_local_averaging_cannot_beat_theorem1_here(self, lb_construction):
+        # The averaging algorithm with R = 1 is also a local algorithm, so it
+        # is subject to the same lower bound on this construction.
+        algorithm = local_averaging_algorithm(1)
+        report = run_adversary(algorithm, lb_construction, name="averaging-R1")
+        assert report.algorithm == "averaging-R1"
+        assert report.measured_ratio >= report.finite_R_bound - 1e-6
+
+    def test_precomputed_subinstance_is_reused(self, lb_construction):
+        x = safe_algorithm(lb_construction.problem)
+        adv = lb_construction.build_adversarial_subinstance(x)
+        report = run_adversary(safe_algorithm, lb_construction, precomputed=adv)
+        assert report.optimum_on_Sprime >= 1.0 - 1e-9
+
+
+class TestConstructionScaling:
+    def test_larger_R_certifies_a_tighter_bound(self):
+        small = build_lower_bound_instance(3, 2, 1, R=2, seed=0)
+        large = build_lower_bound_instance(3, 2, 1, R=3, seed=0)
+        assert large.finite_R_bound() > small.finite_R_bound()
+        assert large.problem.n_agents > small.problem.n_agents
+
+    def test_theorem1_parameters_with_type_II_parties(self):
+        construction = build_lower_bound_instance(2, 3, 1, seed=2)
+        report = run_adversary(safe_algorithm, construction)
+        assert report.measured_ratio >= report.finite_R_bound - 1e-9

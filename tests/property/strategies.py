@@ -1,0 +1,81 @@
+"""Hypothesis strategies for random max-min LP instances and LPs.
+
+The strategies generate *valid* instances (non-empty supports, every agent
+constrained) of modest size so that exact LP solves inside property tests
+stay fast.  They are deliberately biased towards small, awkward shapes --
+single agents, singleton supports, repeated coefficients -- because that is
+where index-handling bugs live.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro import MaxMinLP
+
+__all__ = ["max_min_instances", "coefficients", "instance_and_solution"]
+
+#: Strictly positive, well-scaled coefficient values.
+coefficients = st.floats(
+    min_value=0.1, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def max_min_instances(
+    draw,
+    *,
+    max_agents: int = 8,
+    max_resources: int = 8,
+    max_beneficiaries: int = 6,
+    max_support: int = 4,
+    unit_weights: bool = False,
+):
+    """Draw a random valid :class:`MaxMinLP` instance."""
+    n_agents = draw(st.integers(min_value=1, max_value=max_agents))
+    n_resources = draw(st.integers(min_value=1, max_value=max_resources))
+    n_beneficiaries = draw(st.integers(min_value=1, max_value=max_beneficiaries))
+    agents = [f"v{j}" for j in range(n_agents)]
+
+    def support(max_size):
+        size = draw(st.integers(min_value=1, max_value=min(max_size, n_agents)))
+        return draw(
+            st.lists(
+                st.sampled_from(agents), min_size=size, max_size=size, unique=True
+            )
+        )
+
+    consumption = {}
+    benefit = {}
+    for r in range(n_resources):
+        for v in support(max_support):
+            value = 1.0 if unit_weights else draw(coefficients)
+            consumption[(f"i{r}", v)] = value
+    # Every agent must consume something (the paper's I_v non-empty rule).
+    covered = {v for (_i, v) in consumption}
+    extra = n_resources
+    for v in agents:
+        if v not in covered:
+            value = 1.0 if unit_weights else draw(coefficients)
+            consumption[(f"i{extra}", v)] = value
+            extra += 1
+    for k in range(n_beneficiaries):
+        for v in support(max_support):
+            value = 1.0 if unit_weights else draw(coefficients)
+            benefit[(f"k{k}", v)] = value
+
+    return MaxMinLP(agents, consumption, benefit)
+
+
+@st.composite
+def instance_and_solution(draw, **kwargs):
+    """Draw an instance together with an arbitrary non-negative activity vector."""
+    problem = draw(max_min_instances(**kwargs))
+    values = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+            min_size=problem.n_agents,
+            max_size=problem.n_agents,
+        )
+    )
+    return problem, dict(zip(problem.agents, values))

@@ -1,0 +1,139 @@
+"""Property-based tests for the core invariants of the paper's algorithms.
+
+Every property below is a statement taken directly from the paper:
+
+* the safe solution is feasible and a ``Δ_I^V``-approximation (Section 4),
+* the local averaging solution is feasible (Section 5.2) and within the
+  per-instance bound ``max_k M_k/m_k · max_i N_i/n_i`` of the optimum
+  (Section 5.3), which itself never exceeds ``γ(R-1)·γ(R)``,
+* the optimum never decreases when constraints are dropped (sub-instances).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import (
+    approximation_ratio,
+    communication_hypergraph,
+    evaluate_solution,
+    local_averaging_solution,
+    optimal_objective,
+    safe_approximation_guarantee,
+    safe_solution,
+    theorem3_ratio_bound,
+)
+
+from .strategies import instance_and_solution, max_min_instances
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestSafeAlgorithmProperties:
+    @given(problem=max_min_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_safe_solution_always_feasible(self, problem):
+        x = safe_solution(problem)
+        assert problem.is_feasible(problem.to_array(x), tol=1e-9)
+
+    @given(problem=max_min_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_safe_solution_within_delta_vi_of_optimum(self, problem):
+        optimum = optimal_objective(problem)
+        achieved = problem.objective(problem.to_array(safe_solution(problem)))
+        ratio = approximation_ratio(optimum, achieved)
+        assert ratio <= safe_approximation_guarantee(problem) + 1e-6
+
+    @given(problem=max_min_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_safe_values_are_positive(self, problem):
+        # Every agent consumes at least one resource with a positive
+        # coefficient, so its safe value is finite and strictly positive.
+        x = safe_solution(problem)
+        assert all(value > 0 for value in x.values())
+
+
+class TestLocalAveragingProperties:
+    @given(problem=max_min_instances(max_agents=6, max_resources=6, max_beneficiaries=4))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    def test_feasible_and_within_proven_bound(self, problem):
+        optimum = optimal_objective(problem)
+        result = local_averaging_solution(problem, 1)
+        assert problem.is_feasible(problem.to_array(result.x), tol=1e-7)
+        ratio = approximation_ratio(optimum, result.objective)
+        assert ratio <= result.proven_ratio_bound + 1e-5
+
+    @given(problem=max_min_instances(max_agents=6, max_resources=6, max_beneficiaries=4))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    def test_instance_bound_below_gamma_bound(self, problem):
+        H = communication_hypergraph(problem)
+        result = local_averaging_solution(problem, 1, hypergraph=H)
+        assert result.proven_ratio_bound <= theorem3_ratio_bound(H, 1) + 1e-9
+
+    @given(problem=max_min_instances(max_agents=6, max_resources=6, max_beneficiaries=4))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    def test_shrink_factors_in_unit_interval(self, problem):
+        result = local_averaging_solution(problem, 1)
+        assert all(0.0 < beta <= 1.0 + 1e-12 for beta in result.beta.values())
+
+
+class TestEvaluationProperties:
+    @given(pair=instance_and_solution())
+    @settings(**COMMON_SETTINGS)
+    def test_report_consistent_with_problem(self, pair):
+        problem, x = pair
+        report = evaluate_solution(problem, x)
+        arr = problem.to_array(x)
+        assert report.feasible == problem.is_feasible(arr)
+        assert report.objective == pytest.approx(problem.objective(arr))
+        assert report.violation >= 0.0
+        if report.feasible:
+            assert report.violation == 0.0
+
+    @given(pair=instance_and_solution())
+    @settings(**COMMON_SETTINGS)
+    def test_scaling_down_preserves_feasibility(self, pair):
+        problem, x = pair
+        arr = problem.to_array(x)
+        usage = problem.resource_usage(arr)
+        scale = 1.0 / max(float(usage.max()), 1.0)
+        assert problem.is_feasible(arr * scale, tol=1e-9)
+
+
+class TestOptimumProperties:
+    @given(problem=max_min_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_optimum_is_nonnegative_and_achieved(self, problem):
+        from repro import optimal_solution
+
+        result = optimal_solution(problem)
+        assert result.objective >= -1e-9
+        arr = problem.to_array(result.x)
+        assert problem.is_feasible(arr, tol=1e-6)
+        assert problem.objective(arr) == pytest.approx(result.objective, abs=1e-6)
+
+    @given(problem=max_min_instances(max_agents=6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    def test_local_subproblem_optimum_at_least_global(self, problem):
+        # The local LP (9) over the full agent set only *drops* beneficiaries
+        # outside the view (none here) and keeps all constraints, so its
+        # optimum equals the global optimum; over a subset of agents it can
+        # only be larger or equal because constraints are clipped.
+        from repro.lp import solve_max_min
+
+        global_opt = optimal_objective(problem)
+        view = set(list(problem.agents)[: max(1, problem.n_agents // 2)])
+        local = problem.local_subproblem(view)
+        if local.n_beneficiaries == 0:
+            return
+        local_opt = solve_max_min(local).objective
+        assert local_opt >= global_opt - 1e-6

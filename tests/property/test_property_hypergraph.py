@@ -1,0 +1,97 @@
+"""Property-based tests for hypergraph distances, balls and growth."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import communication_hypergraph, growth_profile, relative_growth
+
+from .strategies import max_min_instances
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestBallProperties:
+    @given(problem=max_min_instances(), radius=st.integers(min_value=0, max_value=3))
+    @settings(**COMMON_SETTINGS)
+    def test_balls_are_monotone_in_radius(self, problem, radius):
+        H = communication_hypergraph(problem)
+        for v in H.nodes:
+            assert H.ball(v, radius) <= H.ball(v, radius + 1)
+
+    @given(problem=max_min_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_ball_zero_is_the_vertex_itself(self, problem):
+        H = communication_hypergraph(problem)
+        for v in H.nodes:
+            assert H.ball(v, 0) == frozenset({v})
+
+    @given(problem=max_min_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_membership_is_symmetric(self, problem):
+        # u ∈ B(v, r)  ⟺  v ∈ B(u, r): distances are symmetric.
+        H = communication_hypergraph(problem)
+        for v in H.nodes:
+            for u in H.ball(v, 2):
+                assert v in H.ball(u, 2)
+
+    @given(problem=max_min_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_support_sets_are_cliques_in_the_primal_graph(self, problem):
+        # Agents sharing a resource or a party are at distance <= 1.
+        H = communication_hypergraph(problem)
+        for i in problem.resources:
+            support = list(problem.resource_support(i))
+            for a in support:
+                for b in support:
+                    assert H.distance(a, b) <= 1
+        for k in problem.beneficiaries:
+            support = list(problem.beneficiary_support(k))
+            for a in support:
+                for b in support:
+                    assert H.distance(a, b) <= 1
+
+    @given(problem=max_min_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_triangle_inequality(self, problem):
+        H = communication_hypergraph(problem)
+        nodes = list(H.nodes)[:5]
+        for a in nodes:
+            dist_a = H.distances_from(a)
+            for b in nodes:
+                dist_b = H.distances_from(b)
+                for c in nodes:
+                    dab = dist_a.get(b, float("inf"))
+                    dbc = dist_b.get(c, float("inf"))
+                    dac = dist_a.get(c, float("inf"))
+                    assert dac <= dab + dbc
+
+
+class TestGrowthProperties:
+    @given(problem=max_min_instances(), radius=st.integers(min_value=0, max_value=3))
+    @settings(**COMMON_SETTINGS)
+    def test_growth_at_least_one(self, problem, radius):
+        H = communication_hypergraph(problem)
+        assert relative_growth(H, radius) >= 1.0
+
+    @given(problem=max_min_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_profile_consistent_with_pointwise(self, problem):
+        H = communication_hypergraph(problem)
+        profile = growth_profile(H, 2)
+        for r in range(3):
+            assert profile.gamma[r] == pytest.approx(relative_growth(H, r))
+            assert profile.min_ball_sizes[r] <= profile.max_ball_sizes[r]
+
+    @given(problem=max_min_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_growth_eventually_reaches_one(self, problem):
+        # Once the ball covers the whole connected component the growth stops.
+        H = communication_hypergraph(problem)
+        assert relative_growth(H, H.n_nodes + 1) == pytest.approx(1.0)

@@ -1,0 +1,48 @@
+"""Property-based tests: serialisation round-trips and distributed equivalence."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import instance_from_dict, instance_to_dict, safe_solution
+from repro.distributed import SafeProgram, SynchronousSimulator
+
+from .strategies import max_min_instances
+
+COMMON_SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestSerialisationProperties:
+    @given(problem=max_min_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_roundtrip_identity(self, problem):
+        assert instance_from_dict(instance_to_dict(problem)) == problem
+
+    @given(problem=max_min_instances())
+    @settings(**COMMON_SETTINGS)
+    def test_roundtrip_preserves_degree_bounds(self, problem):
+        rebuilt = instance_from_dict(instance_to_dict(problem))
+        assert rebuilt.degree_bounds() == problem.degree_bounds()
+
+
+class TestDistributedEquivalence:
+    @given(problem=max_min_instances(max_agents=7, max_resources=6, max_beneficiaries=4))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    def test_safe_program_equals_centralised_safe(self, problem):
+        result = SynchronousSimulator(problem).run(SafeProgram())
+        central = safe_solution(problem)
+        for v in problem.agents:
+            assert result.x[v] == pytest.approx(central[v], abs=1e-12)
+
+    @given(problem=max_min_instances(max_agents=7, max_resources=6, max_beneficiaries=4))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+    def test_simulated_safe_solution_is_feasible(self, problem):
+        result = SynchronousSimulator(problem).run(SafeProgram())
+        assert result.feasible

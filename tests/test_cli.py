@@ -1,0 +1,44 @@
+"""Unit tests for the command-line interface (`python -m repro`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_experiment_registry(self):
+        assert set(EXPERIMENTS) == {"growth", "thm3", "safe", "thm1", "sensor", "isp"}
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["does-not-exist"])
+        assert excinfo.value.code != 0
+
+    def test_missing_argument_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_growth_experiment_runs(self, capsys):
+        assert main(["growth", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Relative growth" in out
+        assert "gamma(3)" in out
+
+    def test_sensor_experiment_runs(self, capsys):
+        assert main(["sensor", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "APP-SENSOR" in out
+        assert "optimal" in out
+
+    def test_isp_experiment_runs(self, capsys):
+        assert main(["isp", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "APP-ISP" in out
+
+    def test_safe_experiment_runs(self, capsys):
+        assert main(["safe", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "THM-SAFE" in out
+        assert "delta_VI" in out
