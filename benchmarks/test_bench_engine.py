@@ -1,0 +1,99 @@
+"""Experiment ENGINE -- serial vs pooled vs cached-warm batch solving.
+
+The local averaging algorithm is embarrassingly parallel (one independent
+local LP per agent) and fully cacheable (the canonical subproblems are pure
+content).  This benchmark quantifies what :mod:`repro.engine` buys on the
+Figure 1/2 instance families (cycle, torus, unit disk):
+
+* ``serial``       -- the plain baseline, no cache;
+* ``thread pool``  -- the same work fanned across a thread pool (HiGHS
+  releases the GIL, so this helps in proportion to core count);
+* ``cached warm``  -- a second run against a pre-warmed cache: every solve
+  is a cache hit, so the time measured is pure orchestration overhead.
+
+Correctness is asserted alongside timing: all three configurations must
+report the same objective, and the warm run must execute zero LP solves.
+
+This is an ablation of this reproduction's engine, not a figure of the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BatchSolver,
+    ResultCache,
+    cycle_instance,
+    grid_instance,
+    local_averaging_solution,
+    unit_disk_instance,
+)
+
+FAMILIES = {
+    "cycle n=40": (cycle_instance(40), 2),
+    "torus 6x6": (grid_instance((6, 6), torus=True), 2),
+    "unit disk n=36": (
+        unit_disk_instance(36, radius=0.24, max_support=6, seed=9),
+        1,
+    ),
+}
+PARAMS = [(label,) + spec for label, spec in FAMILIES.items()]
+IDS = ["cycle", "torus", "disk"]
+
+
+@pytest.fixture(scope="session")
+def reference():
+    """Serial-engine objectives; computed once, lazily (not at collection)."""
+    return {
+        label: local_averaging_solution(
+            problem, R, engine=BatchSolver(mode="serial")
+        ).objective
+        for label, (problem, R) in FAMILIES.items()
+    }
+
+
+@pytest.mark.benchmark(group="engine")
+@pytest.mark.parametrize("label,problem,R", PARAMS, ids=IDS)
+def test_engine_serial(benchmark, reference, label, problem, R):
+    """Baseline: serial execution, no cache."""
+
+    def run():
+        engine = BatchSolver(mode="serial")
+        return local_averaging_solution(problem, R, engine=engine).objective
+
+    objective = benchmark(run)
+    assert objective == reference[label]
+
+
+@pytest.mark.benchmark(group="engine")
+@pytest.mark.parametrize("label,problem,R", PARAMS, ids=IDS)
+def test_engine_thread_pool(benchmark, reference, label, problem, R):
+    """The same batch fanned across a thread pool; objectives identical."""
+
+    def run():
+        engine = BatchSolver(mode="thread", max_workers=4)
+        return local_averaging_solution(problem, R, engine=engine).objective
+
+    objective = benchmark(run)
+    assert objective == reference[label]
+
+
+@pytest.mark.benchmark(group="engine")
+@pytest.mark.parametrize("label,problem,R", PARAMS, ids=IDS)
+def test_engine_cached_warm(benchmark, report, reference, label, problem, R):
+    """A warm cache turns the whole run into pure lookups (zero LP solves)."""
+    warm = BatchSolver(mode="serial", cache=ResultCache())
+    local_averaging_solution(problem, R, engine=warm)  # prime the cache
+    executed_after_priming = warm.stats.executed
+
+    def run():
+        return local_averaging_solution(problem, R, engine=warm).objective
+
+    objective = benchmark(run)
+    assert objective == reference[label]
+    assert warm.stats.executed == executed_after_priming, "warm run solved LPs"
+    report(
+        f"ENGINE cache counters ({label})",
+        str(warm.cache.stats.as_dict()),
+    )

@@ -38,6 +38,16 @@ from .core import (
     uniform_share_solution,
     unshrunk_averaging_solution,
 )
+from .engine import (
+    BatchSolver,
+    JobRecord,
+    ResultCache,
+    RunRegistry,
+    fingerprint_instance,
+    fingerprint_request,
+    get_default_engine,
+    set_default_engine,
+)
 from .io import (
     dump_instance,
     instance_from_dict,
@@ -100,6 +110,15 @@ __all__ = [
     "uniform_share_solution",
     "single_shot_local_solution",
     "unshrunk_averaging_solution",
+    # engine
+    "BatchSolver",
+    "ResultCache",
+    "RunRegistry",
+    "JobRecord",
+    "fingerprint_instance",
+    "fingerprint_request",
+    "get_default_engine",
+    "set_default_engine",
     # io
     "instance_to_dict",
     "instance_from_dict",

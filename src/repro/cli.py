@@ -6,7 +6,7 @@ exploration and for embedding the numbers in reports.  The heavy lifting is
 the same code the benchmark harness uses (:mod:`repro.analysis`), so the CLI
 and the benchmarks cannot drift apart.
 
-Available experiments::
+Available commands::
 
     growth       γ(r) profiles of the instance families (Theorem 3 context)
     thm3         ratio-vs-radius sweep of the averaging algorithm
@@ -14,24 +14,31 @@ Available experiments::
     thm1         Theorem 1 bound table and the adversarial ratios
     sensor       the Section 2 sensor-network application
     isp          the Section 2 ISP application
-    all          everything above, in order
+    all          every experiment above, in order
+    batch        run averaging jobs through the batch engine (parallel + cached)
+    cache        inspect or clear the on-disk result cache
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
 from .analysis import growth_sweep, radius_sweep, render_rows, safe_ratio_sweep
 from .apps import random_isp_network, random_sensor_network
 from .core import local_averaging_solution, optimal_solution, safe_solution
+from .engine import BatchSolver, EXECUTION_MODES, ResultCache, RunRegistry, default_cache_dir
 from .generators import (
     cycle_instance,
     grid_instance,
     random_bounded_degree_instance,
     unit_disk_instance,
 )
+from .io import dump_instance
 from .lowerbound import (
     build_lower_bound_instance,
     finite_R_bound,
@@ -178,23 +185,190 @@ EXPERIMENTS: Dict[str, Callable[[int], None]] = {
 }
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+# ----------------------------------------------------------------------
+# Engine subcommands
+# ----------------------------------------------------------------------
+def _batch_instances(family: str, seed: int) -> Dict[str, "object"]:
+    """Instance families the ``batch`` subcommand fans across the engine."""
+    catalogue = {
+        "cycle": lambda: {"cycle n=40": cycle_instance(40)},
+        "grid": lambda: {
+            "grid 6x6": grid_instance((6, 6)),
+            "torus 6x6": grid_instance((6, 6), torus=True),
+        },
+        "disk": lambda: {
+            "unit disk n=36": unit_disk_instance(
+                36, radius=0.24, max_support=6, seed=seed
+            )
+        },
+        "random": lambda: {
+            "random Δ=3": random_bounded_degree_instance(
+                30, max_resource_support=3, max_beneficiary_support=3, seed=seed
+            )
+        },
+    }
+    if family == "all":
+        instances: Dict[str, "object"] = {}
+        for build in catalogue.values():
+            instances.update(build())
+        return instances
+    return catalogue[family]()
+
+
+def run_batch(args: argparse.Namespace) -> int:
+    """Run local-averaging jobs for whole instance families through the engine."""
+    if args.no_cache_dir:
+        cache = ResultCache()
+    else:
+        directory = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+        cache = ResultCache(directory=directory)
+    registry = RunRegistry()
+    engine = BatchSolver(
+        mode=args.mode, max_workers=args.workers, cache=cache, registry=registry
+    )
+    try:
+        radii = [int(r) for r in args.radii.split(",") if r.strip()]
+    except ValueError:
+        raise SystemExit("--radii must be a comma-separated list of integers >= 1")
+    if not radii or min(radii) < 1:
+        raise SystemExit("--radii must be a comma-separated list of integers >= 1")
+    instances = _batch_instances(args.family, args.seed)
+
+    rows = []
+    artifacts: List[str] = []
+    # The reference optima are the heaviest LPs of the run; submit them as
+    # one batch so a pooled engine solves them concurrently.
+    optima = engine.solve_maxmin_batch(list(instances.values()))
+    for (label, problem), optimal in zip(instances.items(), optima):
+        optimum = optimal.objective
+        for R in radii:
+            start = time.perf_counter()
+            result = local_averaging_solution(problem, R, engine=engine)
+            rows.append(
+                {
+                    "instance": label,
+                    "R": R,
+                    "optimum": optimum,
+                    "objective": result.objective,
+                    "seconds": time.perf_counter() - start,
+                }
+            )
+    _print(f"BATCH: averaging jobs ({args.mode} mode)", render_rows(rows))
+
+    stats_rows = [
+        {**engine.stats.as_dict(), **cache.stats.as_dict()},
+    ]
+    _print("BATCH: engine counters", render_rows(stats_rows))
+
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        for idx, (label, problem) in enumerate(instances.items()):
+            path = out / f"instance-{idx:02d}.json"
+            dump_instance(problem, path)
+            artifacts.append(str(path))
+        results_path = out / "results.json"
+        results_path.write_text(json.dumps(rows, indent=2))
+        artifacts.append(str(results_path))
+        batch_job = registry.new_job("batch", "-")
+        registry.finish_job(batch_job, artifacts=artifacts)
+        registry_path = registry.save(out / "registry.json")
+        print(f"\nrun registry: {registry_path} ({len(registry)} jobs)")
+    return 0
+
+
+def run_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the on-disk result cache."""
+    directory = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    cache = ResultCache(directory=directory)
+    if args.action == "stats":
+        rows = [
+            {
+                "directory": str(directory),
+                "entries": cache.disk_entries(),
+                "bytes": cache.disk_bytes(),
+            }
+        ]
+        _print("CACHE: on-disk result store", render_rows(rows))
+    elif args.action == "clear":
+        removed = cache.disk_entries()
+        cache.clear(disk=True)
+        print(f"cleared {removed} cache entries under {directory}")
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the paper's tables from the command line.",
+        description="Regenerate the paper's tables and drive the batch engine.",
     )
-    parser.add_argument(
-        "experiment",
-        choices=[*EXPERIMENTS, "all"],
-        help="which experiment to run",
-    )
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn in EXPERIMENTS.items():
+        summary = next(iter((fn.__doc__ or "").splitlines()), "")
+        sp = sub.add_parser(name, help=summary)
+        sp.add_argument(
+            "--seed", type=int, default=0, help="seed for the randomised instances"
+        )
+    sp = sub.add_parser("all", help="run every experiment in order")
+    sp.add_argument(
         "--seed", type=int, default=0, help="seed for the randomised instances"
     )
+
+    sp = sub.add_parser(
+        "batch",
+        help="run averaging jobs for whole instance families through the engine",
+    )
+    sp.add_argument(
+        "--family",
+        choices=["grid", "cycle", "disk", "random", "all"],
+        default="all",
+        help="instance family to run",
+    )
+    sp.add_argument("--radii", default="1,2", help="comma-separated radii (default 1,2)")
+    sp.add_argument(
+        "--mode",
+        choices=list(EXECUTION_MODES),
+        default="serial",
+        help="execution mode of the batch engine",
+    )
+    sp.add_argument("--workers", type=int, default=None, help="pool size")
+    sp.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache directory "
+        "(default: REPRO_CACHE_DIR or ~/.cache/repro-maxminlp)",
+    )
+    sp.add_argument(
+        "--no-cache-dir",
+        action="store_true",
+        help="keep results in memory only (no disk cache)",
+    )
+    sp.add_argument(
+        "--out", default=None, help="directory for run artifacts (registry, results)"
+    )
+    sp.add_argument("--seed", type=int, default=0, help="seed for randomised instances")
+
+    sp = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
+    sp.add_argument("action", choices=["stats", "clear"], help="what to do")
+    sp.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro-maxminlp)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
-    selected = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.command == "batch":
+        return run_batch(args)
+    if args.command == "cache":
+        return run_cache(args)
+    selected = list(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in selected:
         EXPERIMENTS[name](args.seed)
     return 0

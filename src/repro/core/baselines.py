@@ -21,10 +21,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..engine.executor import BatchSolver, get_default_engine
 from ..hypergraph.communication import communication_hypergraph
 from ..hypergraph.hypergraph import Hypergraph
 from ..lp.backends import DEFAULT_BACKEND
-from .local_averaging import solve_local_lp
 from .problem import Agent, MaxMinLP
 
 __all__ = [
@@ -57,6 +57,7 @@ def single_shot_local_solution(
     *,
     backend: str = DEFAULT_BACKEND,
     hypergraph: Optional[Hypergraph] = None,
+    engine: Optional[BatchSolver] = None,
 ) -> Dict[Agent, float]:
     """Every agent adopts its own local-LP value ``x^v_v`` directly.
 
@@ -67,11 +68,10 @@ def single_shot_local_solution(
     if R < 1:
         raise ValueError("R must be at least 1")
     H = hypergraph if hypergraph is not None else communication_hypergraph(problem)
-    x: Dict[Agent, float] = {}
-    for v in problem.agents:
-        local = solve_local_lp(problem, H.ball(v, R), backend=backend)
-        x[v] = local.get(v, 0.0)
-    return x
+    eng = engine if engine is not None else get_default_engine()
+    views = {v: H.ball(v, R) for v in problem.agents}
+    outcomes = eng.solve_local_lps(problem, views, backend=backend)
+    return {v: outcomes[v].x.get(v, 0.0) for v in problem.agents}
 
 
 def unshrunk_averaging_solution(
@@ -80,6 +80,7 @@ def unshrunk_averaging_solution(
     *,
     backend: str = DEFAULT_BACKEND,
     hypergraph: Optional[Hypergraph] = None,
+    engine: Optional[BatchSolver] = None,
 ) -> Dict[Agent, float]:
     """Averaging of local solutions *without* the ``β_j`` shrink factor.
 
@@ -91,10 +92,11 @@ def unshrunk_averaging_solution(
     if R < 1:
         raise ValueError("R must be at least 1")
     H = hypergraph if hypergraph is not None else communication_hypergraph(problem)
+    eng = engine if engine is not None else get_default_engine()
     views = {u: H.ball(u, R) for u in problem.agents}
-    local = {u: solve_local_lp(problem, views[u], backend=backend) for u in problem.agents}
+    outcomes = eng.solve_local_lps(problem, views, backend=backend)
     x: Dict[Agent, float] = {}
     for j in problem.agents:
-        total = sum(local[u].get(j, 0.0) for u in views[j])
+        total = sum(outcomes[u].x.get(j, 0.0) for u in views[j])
         x[j] = total / len(views[j])
     return x

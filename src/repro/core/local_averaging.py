@@ -34,7 +34,7 @@ from ..exceptions import SolverError
 from ..hypergraph.communication import communication_hypergraph
 from ..hypergraph.hypergraph import Hypergraph
 from ..lp.backends import DEFAULT_BACKEND
-from ..lp.maxmin import solve_max_min
+from ..engine.executor import BatchSolver, get_default_engine
 from .problem import Agent, Beneficiary, MaxMinLP, Resource
 
 __all__ = ["LocalAveragingResult", "local_averaging_solution", "solve_local_lp"]
@@ -90,18 +90,21 @@ def solve_local_lp(
     view: FrozenSet[Agent],
     *,
     backend: str = DEFAULT_BACKEND,
+    engine: Optional[BatchSolver] = None,
 ) -> Dict[Agent, float]:
     """Solve the local LP (9) of Section 5.1 over the view ``V^u``.
 
     Returns the local solution ``x^u`` keyed by the agents of the view.  When
     the view contains no complete beneficiary support (``K^u = ∅``) the local
     objective is vacuous and the all-zero solution is returned.
+
+    The solve is routed through the batch engine (``engine`` or the
+    process-wide default), so repeated views are served from its cache.
     """
+    eng = engine if engine is not None else get_default_engine()
     local = problem.local_subproblem(view)
-    if local.n_beneficiaries == 0 or local.n_agents == 0:
-        return {v: 0.0 for v in local.agents}
-    result = solve_max_min(local, backend=backend)
-    return dict(result.x)
+    (outcome,) = eng.solve_subproblems([local], backend=backend)
+    return dict(outcome.x)
 
 
 def local_averaging_solution(
@@ -111,6 +114,7 @@ def local_averaging_solution(
     backend: str = DEFAULT_BACKEND,
     hypergraph: Optional[Hypergraph] = None,
     keep_local_solutions: bool = False,
+    engine: Optional[BatchSolver] = None,
 ) -> LocalAveragingResult:
     """Run the Section 5 local averaging algorithm with radius ``R``.
 
@@ -130,6 +134,12 @@ def local_averaging_solution(
         Retain the per-agent local solutions in the result (memory-heavy for
         large instances; mainly useful for debugging and for the figure-2
         benchmark).
+    engine:
+        Batch engine through which the per-agent local LPs are solved (they
+        are independent, so the engine may cache and parallelise them);
+        defaults to the process-wide engine of
+        :func:`repro.engine.get_default_engine`.  Results are bit-identical
+        across engine configurations.
     """
     if R < 1:
         raise ValueError("the local averaging algorithm requires R >= 1")
@@ -138,18 +148,19 @@ def local_averaging_solution(
         raise SolverError(
             "the supplied hypergraph's vertex set does not match the problem's agents"
         )
+    eng = engine if engine is not None else get_default_engine()
 
-    # Step 1: local views and local LP solutions.
-    views: Dict[Agent, FrozenSet[Agent]] = {}
-    local_solutions: Dict[Agent, Dict[Agent, float]] = {}
-    local_objectives: Dict[Agent, float] = {}
-    for u in problem.agents:
-        view = H.ball(u, R)
-        views[u] = view
-        x_u = solve_local_lp(problem, view, backend=backend)
-        local_solutions[u] = x_u
-        local = problem.local_subproblem(view)
-        local_objectives[u] = local.objective(local.to_array(x_u))
+    # Step 1: local views and local LP solutions, as one engine batch.
+    views: Dict[Agent, FrozenSet[Agent]] = {
+        u: H.ball(u, R) for u in problem.agents
+    }
+    outcomes = eng.solve_local_lps(problem, views, backend=backend)
+    local_solutions: Dict[Agent, Dict[Agent, float]] = {
+        u: outcomes[u].x for u in problem.agents
+    }
+    local_objectives: Dict[Agent, float] = {
+        u: outcomes[u].objective for u in problem.agents
+    }
 
     view_sizes = {u: len(views[u]) for u in problem.agents}
 

@@ -1,0 +1,57 @@
+"""Parallel batch-solver engine with content-addressed result caching.
+
+The subpackage gives every LP the reproduction solves a shared fast path:
+
+* :mod:`repro.engine.fingerprint` -- stable content hashes for instances
+  and solve requests (instance + algorithm + params + backend),
+* :mod:`repro.engine.cache` -- a two-tier (memory LRU + on-disk) result
+  store keyed by fingerprint, with hit/miss statistics,
+* :mod:`repro.engine.executor` -- the :class:`BatchSolver` that de-duplicates,
+  caches and fans independent solve requests across a worker pool,
+* :mod:`repro.engine.jobs` -- JSON-serialisable job/run records for
+  resumable batch runs and timing reports.
+
+The algorithm entry points (:func:`repro.core.local_averaging.local_averaging_solution`,
+the baselines, and the :mod:`repro.analysis.sweeps` functions) accept an
+``engine=`` argument and route their solves through it; when omitted they
+share the process-wide default engine of :func:`get_default_engine`.
+"""
+
+from .cache import CacheStats, ResultCache, default_cache_dir
+from .executor import (
+    EXECUTION_MODES,
+    BatchSolver,
+    EngineStats,
+    LocalLPOutcome,
+    get_default_engine,
+    reset_default_engine,
+    set_default_engine,
+)
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_json,
+    fingerprint_data,
+    fingerprint_instance,
+    fingerprint_request,
+)
+from .jobs import JobRecord, RunRegistry
+
+__all__ = [
+    "BatchSolver",
+    "CacheStats",
+    "EngineStats",
+    "EXECUTION_MODES",
+    "FINGERPRINT_VERSION",
+    "JobRecord",
+    "LocalLPOutcome",
+    "ResultCache",
+    "RunRegistry",
+    "canonical_json",
+    "default_cache_dir",
+    "fingerprint_data",
+    "fingerprint_instance",
+    "fingerprint_request",
+    "get_default_engine",
+    "reset_default_engine",
+    "set_default_engine",
+]

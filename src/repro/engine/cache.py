@@ -1,0 +1,251 @@
+"""Content-addressed result cache with an in-memory LRU and a disk tier.
+
+The cache maps request fingerprints (:mod:`repro.engine.fingerprint`) to
+JSON-serialisable result payloads.  Two tiers:
+
+* an **in-memory LRU** bounded by ``max_memory_entries`` — fast path for
+  repeated solves inside one process (e.g. a parameter sweep that re-solves
+  the same local LPs for every radius);
+* an optional **on-disk store** (``directory``) laid out content-addressed
+  as ``<digest[:2]>/<digest>.json`` — survives process restarts, so a warm
+  re-run of a whole benchmark performs zero LP solves.
+
+Disk writes are atomic (temp file + :func:`os.replace`), so a crashed or
+interrupted run can never leave a torn entry behind.  Payloads must be
+JSON-serialisable; non-finite floats are permitted (Python's ``json`` module
+round-trips ``Infinity`` and ``NaN``), which matters because vacuous local
+LPs have objective ``inf``.
+
+Hit/miss/eviction counters are kept in :class:`CacheStats`; the acceptance
+tests use them to prove that warm re-runs are pure cache traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+__all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
+
+_MISSING = object()
+
+
+def default_cache_dir() -> Path:
+    """The default on-disk cache location.
+
+    Honours ``REPRO_CACHE_DIR``; otherwise uses ``~/.cache/repro-maxminlp``.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-maxminlp"
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by a :class:`ResultCache`.
+
+    Attributes
+    ----------
+    hits:
+        Successful lookups (memory or disk).
+    disk_hits:
+        The subset of ``hits`` served from the disk tier.
+    misses:
+        Lookups that found nothing in either tier.
+    puts:
+        Entries stored.
+    evictions:
+        Memory-tier entries dropped by the LRU bound.
+    invalidations:
+        Entries removed by explicit :meth:`ResultCache.invalidate` calls.
+    """
+
+    hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dictionary (for tables and JSON reports)."""
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Two-tier (memory LRU + optional disk) content-addressed result store.
+
+    Parameters
+    ----------
+    max_memory_entries:
+        Bound on the in-memory LRU tier; least-recently-used entries are
+        evicted (they remain on disk when a directory is configured).
+    directory:
+        Optional disk-tier location; created on first write.  ``None``
+        keeps the cache purely in-memory.
+    """
+
+    max_memory_entries: int = 4096
+    directory: Optional[Union[str, Path]] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be at least 1")
+        self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        # Guards the LRU and the counters: the process-wide default engine is
+        # shared, so concurrent callers (e.g. sweeps on a thread pool) must
+        # not interleave OrderedDict mutations.  Disk writes are already
+        # atomic per entry.
+        self._lock = threading.RLock()
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+
+    # ------------------------------------------------------------------
+    # Disk-tier helpers
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return Path(self.directory) / key[:2] / f"{key}.json"
+
+    def _disk_read(self, key: str) -> Any:
+        if self.directory is None:
+            return _MISSING
+        path = self._entry_path(key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return _MISSING
+        if not isinstance(data, dict) or data.get("key") != key:
+            return _MISSING
+        return data.get("value")
+
+    def _disk_write(self, key: str, value: Any) -> None:
+        if self.directory is None:
+            return
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"key": key, "value": value})
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _iter_disk_paths(self) -> Iterator[Path]:
+        if self.directory is None:
+            return
+        root = Path(self.directory)
+        if not root.is_dir():
+            return
+        yield from root.glob("??/*.json")
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up ``key``; promotes disk hits into the memory tier."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                return self._memory[key]
+        value = self._disk_read(key)
+        with self._lock:
+            if value is not _MISSING:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._memory_store(key, value)
+                return value
+            self.stats.misses += 1
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` in both tiers."""
+        with self._lock:
+            self.stats.puts += 1
+            self._memory_store(key, value)
+        self._disk_write(key, value)
+
+    def _memory_store(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Remove ``key`` from both tiers; returns whether anything existed."""
+        with self._lock:
+            existed = self._memory.pop(key, _MISSING) is not _MISSING
+        if self.directory is not None:
+            path = self._entry_path(key)
+            try:
+                path.unlink()
+                existed = True
+            except OSError:
+                pass
+        if existed:
+            with self._lock:
+                self.stats.invalidations += 1
+        return existed
+
+    def clear(self, *, disk: bool = True) -> None:
+        """Drop the memory tier and (by default) every disk entry."""
+        with self._lock:
+            self._memory.clear()
+        if disk:
+            for path in list(self._iter_disk_paths()):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        return self._disk_read(key) is not _MISSING
+
+    def __len__(self) -> int:
+        """Number of entries in the memory tier."""
+        with self._lock:
+            return len(self._memory)
+
+    def disk_entries(self) -> int:
+        """Number of entries in the disk tier (0 without a directory)."""
+        return sum(1 for _ in self._iter_disk_paths())
+
+    def disk_bytes(self) -> int:
+        """Total size of the disk tier in bytes (0 without a directory)."""
+        total = 0
+        for path in self._iter_disk_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total

@@ -1,0 +1,379 @@
+"""The parallel batch solver: dedup → cache → fan out → collect.
+
+:class:`BatchSolver` is the shared fast path for every LP the reproduction
+solves.  Callers hand it a batch of independent work units — the per-agent
+local LPs of the Section 5 averaging algorithm, or whole-instance exact
+solves from the analysis sweeps — and it
+
+1. **fingerprints** each unit (:mod:`repro.engine.fingerprint`) and
+   de-duplicates identical units within the batch (on small-diameter
+   instances many agents share the same radius-``R`` view, so their local
+   LPs are literally the same problem);
+2. **consults the cache** (:mod:`repro.engine.cache`) and only keeps the
+   units whose fingerprints have never been solved;
+3. **fans the remainder** across a ``concurrent.futures`` thread or process
+   pool (``mode="thread"`` / ``"process"``), falling back to in-process
+   serial execution when ``mode="serial"``, when the batch is trivial, or
+   when the platform refuses to spawn workers;
+4. **collects** results in submission order, stores them in the cache and
+   optionally records per-unit timings in a :class:`~repro.engine.jobs.RunRegistry`.
+
+Execution mode never changes the numbers: results are produced by the same
+backend on the same canonical subproblems, so serial, pooled and cache-warm
+runs return bit-identical objectives (the test suite asserts this).
+
+A process-wide default engine (serial, in-memory cache) is available via
+:func:`get_default_engine`; the algorithm entry points use it when no
+explicit engine is passed, which transparently de-duplicates repeated
+solves across a session.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.problem import Agent, MaxMinLP
+from ..io import solution_from_dict, solution_to_dict
+from ..lp.backends import DEFAULT_BACKEND
+from ..lp.maxmin import MaxMinSolveResult, solve_max_min
+from .cache import ResultCache
+from .fingerprint import fingerprint_request
+from .jobs import JobRecord, RunRegistry
+
+__all__ = [
+    "EXECUTION_MODES",
+    "BatchSolver",
+    "EngineStats",
+    "LocalLPOutcome",
+    "get_default_engine",
+    "reset_default_engine",
+    "set_default_engine",
+]
+
+#: Supported execution modes of :class:`BatchSolver`.
+EXECUTION_MODES = ("serial", "thread", "process")
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class LocalLPOutcome:
+    """Solution of one local LP (9): the vector ``x^u`` and its value ``ω^u``.
+
+    ``objective`` is ``inf`` when the view contains no complete beneficiary
+    support (``K^u = ∅``, the vacuous minimum).
+    """
+
+    x: Dict[Agent, float]
+    objective: float
+
+
+@dataclass
+class EngineStats:
+    """Execution counters of a :class:`BatchSolver`.
+
+    Attributes
+    ----------
+    batches:
+        Batches submitted.
+    units:
+        Work units requested across all batches (before dedup/cache).
+    executed:
+        Units actually computed (cache misses after dedup).
+    dedup_saved:
+        Units skipped because an identical unit appeared earlier in the
+        same batch.
+    pool_fallbacks:
+        Times a worker pool could not be used and the engine ran serially.
+    """
+
+    batches: int = 0
+    units: int = 0
+    executed: int = 0
+    dedup_saved: int = 0
+    pool_fallbacks: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "batches": self.batches,
+            "units": self.units,
+            "executed": self.executed,
+            "dedup_saved": self.dedup_saved,
+            "pool_fallbacks": self.pool_fallbacks,
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker functions (module level so process pools can pickle them).
+# Each returns (JSON-encodable payload, solve duration in seconds).
+# ----------------------------------------------------------------------
+def _solve_local_unit(args: Tuple[MaxMinLP, str]) -> Tuple[Dict[str, Any], float]:
+    """Solve one local subproblem; all-zero solution when ``K^u`` is empty."""
+    sub, backend = args
+    start = time.perf_counter()
+    if sub.n_beneficiaries == 0 or sub.n_agents == 0:
+        x: Dict[Agent, float] = {v: 0.0 for v in sub.agents}
+    else:
+        x = dict(solve_max_min(sub, backend=backend).x)
+    objective = sub.objective(sub.to_array(x))
+    payload = {"x": solution_to_dict(x), "objective": float(objective)}
+    return payload, time.perf_counter() - start
+
+
+def _solve_maxmin_unit(args: Tuple[MaxMinLP, str]) -> Tuple[Dict[str, Any], float]:
+    """Solve one whole instance exactly through the LP reduction."""
+    problem, backend = args
+    start = time.perf_counter()
+    result = solve_max_min(problem, backend=backend)
+    payload = {
+        "objective": float(result.objective),
+        "x": solution_to_dict(result.x),
+        "backend": result.backend,
+    }
+    return payload, time.perf_counter() - start
+
+
+class BatchSolver:
+    """Fan independent solve requests across a worker pool, behind a cache.
+
+    Parameters
+    ----------
+    mode:
+        ``"serial"`` (default), ``"thread"`` or ``"process"``.  Thread pools
+        help because SciPy's HiGHS backend releases the GIL; process pools
+        sidestep the GIL entirely at the cost of pickling the subproblems.
+    max_workers:
+        Pool size (``None`` lets ``concurrent.futures`` choose).
+    cache:
+        Optional :class:`~repro.engine.cache.ResultCache`.  Results are
+        stored as JSON payloads keyed by request fingerprint, so a cache
+        with a disk tier makes warm re-runs solve nothing at all.
+    registry:
+        Optional :class:`~repro.engine.jobs.RunRegistry` that receives one
+        :class:`~repro.engine.jobs.JobRecord` per de-duplicated unit.
+    """
+
+    def __init__(
+        self,
+        *,
+        mode: str = "serial",
+        max_workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        registry: Optional[RunRegistry] = None,
+    ) -> None:
+        if mode not in EXECUTION_MODES:
+            raise ValueError(
+                f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self.mode = mode
+        self.max_workers = max_workers
+        self.cache = cache
+        self.registry = registry
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Generic fan-out
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Apply ``fn`` to every item, honouring the configured mode.
+
+        Falls back to serial execution (and counts a ``pool_fallback``) when
+        the pool cannot be created or its workers die, so a restricted
+        platform degrades gracefully instead of failing.
+        """
+        work = list(items)
+        serial = (
+            self.mode == "serial"
+            or len(work) <= 1
+            or (self.max_workers is not None and self.max_workers <= 1)
+        )
+        if serial:
+            return [fn(item) for item in work]
+        pool_cls = ThreadPoolExecutor if self.mode == "thread" else ProcessPoolExecutor
+        try:
+            with pool_cls(max_workers=self.max_workers) as pool:
+                return list(pool.map(fn, work))
+        except (OSError, BrokenExecutor) as exc:
+            warnings.warn(
+                f"{self.mode} pool unavailable ({exc!r}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.stats.pool_fallbacks += 1
+            return [fn(item) for item in work]
+
+    # ------------------------------------------------------------------
+    # Batched solves
+    # ------------------------------------------------------------------
+    def _run_requests(
+        self,
+        problems: Sequence[MaxMinLP],
+        *,
+        kind: str,
+        backend: str,
+        worker: Callable[[Tuple[MaxMinLP, str]], Tuple[Dict[str, Any], float]],
+    ) -> List[Dict[str, Any]]:
+        """Dedup → cache → fan out; returns payloads in submission order."""
+        self.stats.batches += 1
+        self.stats.units += len(problems)
+        keys = [
+            fingerprint_request(problem, kind, backend=backend)
+            for problem in problems
+        ]
+        first_index: Dict[str, int] = {}
+        for idx, key in enumerate(keys):
+            first_index.setdefault(key, idx)
+        self.stats.dedup_saved += len(keys) - len(first_index)
+
+        results: Dict[str, Dict[str, Any]] = {}
+        pending: List[Tuple[str, MaxMinLP]] = []
+        for key, idx in first_index.items():
+            cached = self.cache.get(key, _MISSING) if self.cache is not None else _MISSING
+            if cached is not _MISSING:
+                results[key] = cached
+                if self.registry is not None:
+                    record = self.registry.new_job(kind, key)
+                    self.registry.finish_job(record, cached=True)
+            else:
+                pending.append((key, problems[idx]))
+
+        if pending:
+            records: List[Optional[JobRecord]] = [
+                self.registry.new_job(kind, key) if self.registry is not None else None
+                for key, _ in pending
+            ]
+            try:
+                outcomes = self.map(worker, [(p, backend) for _, p in pending])
+            except Exception as exc:
+                if self.registry is not None:
+                    for record in records:
+                        if record is not None:
+                            self.registry.finish_job(record, error=str(exc))
+                raise
+            for (key, _), record, (payload, duration) in zip(
+                pending, records, outcomes
+            ):
+                self.stats.executed += 1
+                if self.cache is not None:
+                    self.cache.put(key, payload)
+                results[key] = payload
+                if record is not None:
+                    self.registry.finish_job(record, duration_s=duration)
+
+        return [results[key] for key in keys]
+
+    def solve_subproblems(
+        self,
+        subproblems: Sequence[MaxMinLP],
+        *,
+        backend: str = DEFAULT_BACKEND,
+    ) -> List[LocalLPOutcome]:
+        """Solve a batch of local LPs (paper eq. 9), one per subproblem.
+
+        Subproblems with no complete beneficiary support get the all-zero
+        solution with objective ``inf``, matching the vacuous local LP.
+        """
+        payloads = self._run_requests(
+            list(subproblems), kind="local_lp", backend=backend, worker=_solve_local_unit
+        )
+        return [
+            LocalLPOutcome(
+                x=solution_from_dict(payload["x"]),
+                objective=float(payload["objective"]),
+            )
+            for payload in payloads
+        ]
+
+    def solve_local_lps(
+        self,
+        problem: MaxMinLP,
+        views: Mapping[Agent, FrozenSet[Agent]],
+        *,
+        backend: str = DEFAULT_BACKEND,
+    ) -> Dict[Agent, LocalLPOutcome]:
+        """Solve the local LP of every view ``V^u`` of ``problem``.
+
+        This is step 1 of the Section 5 algorithm as a single batch: the
+        canonical subproblems of agents with identical views are identical,
+        so dedup + cache can shrink the batch substantially.
+        """
+        agents = list(views)
+        subproblems = [problem.local_subproblem(views[u]) for u in agents]
+        outcomes = self.solve_subproblems(subproblems, backend=backend)
+        return dict(zip(agents, outcomes))
+
+    def solve_maxmin(
+        self, problem: MaxMinLP, *, backend: str = DEFAULT_BACKEND
+    ) -> MaxMinSolveResult:
+        """Cached exact solve of one instance (see :func:`repro.lp.maxmin.solve_max_min`)."""
+        return self.solve_maxmin_batch([problem], backend=backend)[0]
+
+    def solve_maxmin_batch(
+        self,
+        problems: Sequence[MaxMinLP],
+        *,
+        backend: str = DEFAULT_BACKEND,
+    ) -> List[MaxMinSolveResult]:
+        """Exactly solve a batch of whole instances (sweep-style jobs)."""
+        payloads = self._run_requests(
+            list(problems), kind="maxmin_exact", backend=backend, worker=_solve_maxmin_unit
+        )
+        return [
+            MaxMinSolveResult(
+                objective=float(payload["objective"]),
+                x=solution_from_dict(payload["x"]),
+                backend=payload["backend"],
+            )
+            for payload in payloads
+        ]
+
+
+# ----------------------------------------------------------------------
+# The process-wide default engine
+# ----------------------------------------------------------------------
+_default_engine: Optional[BatchSolver] = None
+
+
+def get_default_engine() -> BatchSolver:
+    """The engine used when an algorithm entry point gets ``engine=None``.
+
+    Created lazily: serial execution with a bounded in-memory cache (no disk
+    tier), so repeated solves within one session are free but nothing is
+    written outside the process.
+    """
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = BatchSolver(
+            mode="serial", cache=ResultCache(max_memory_entries=8192)
+        )
+    return _default_engine
+
+
+def set_default_engine(engine: Optional[BatchSolver]) -> Optional[BatchSolver]:
+    """Replace the process-wide default engine; returns the previous one."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+def reset_default_engine() -> None:
+    """Drop the default engine (a fresh one is created on next use)."""
+    set_default_engine(None)

@@ -1,0 +1,112 @@
+"""Stable content fingerprints for instances and solve requests.
+
+The batch-solver engine (:mod:`repro.engine.executor`) keys its result cache
+by *content*, not by object identity: two :class:`~repro.core.problem.MaxMinLP`
+instances with the same index sets and coefficient maps receive the same
+fingerprint no matter how, when or in which process they were built.  This
+is what makes the cache safe to persist on disk and share between runs.
+
+A fingerprint is the SHA-256 hex digest of a canonical JSON rendering:
+
+* **instances** are serialised through :func:`repro.io.instance_to_dict`
+  (which already restricts identifiers to strings, numbers and nested
+  tuples of those) with the sparse coefficient lists sorted canonically,
+  so that construction order does not leak into the digest;
+* **solve requests** combine an instance fingerprint with the algorithm
+  name, the backend and a JSON-serialisable parameter mapping, plus a
+  format-version tag so that future encoding changes cannot silently
+  alias old cache entries.
+
+Agent order is deliberately *kept* in the instance digest: the column order
+of an instance is semantically meaningful (it fixes the LP handed to the
+backend, and therefore the exact optimiser output).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping, Optional
+
+from ..core.problem import MaxMinLP
+from ..io import instance_to_dict
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "canonical_json",
+    "fingerprint_data",
+    "fingerprint_instance",
+    "fingerprint_request",
+]
+
+#: Bumped whenever the canonical encoding changes; part of every request
+#: fingerprint so stale on-disk entries can never be misread as current.
+FINGERPRINT_VERSION = 1
+
+
+def canonical_json(data: Any) -> str:
+    """Render JSON-serialisable ``data`` deterministically.
+
+    Keys are sorted and separators fixed, so equal data always produces the
+    same byte string regardless of construction order or platform.
+    """
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint_data(data: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON rendering of ``data``."""
+    return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+
+def fingerprint_instance(problem: MaxMinLP) -> str:
+    """Content fingerprint of a max-min LP instance.
+
+    Stable across processes and Python versions: the digest is computed from
+    the JSON form of the instance, with the coefficient entry lists sorted
+    canonically (their dict-insertion order is a construction artefact, not
+    content).
+    """
+    data = instance_to_dict(problem)
+    data["consumption"] = sorted(data["consumption"], key=canonical_json)
+    data["benefit"] = sorted(data["benefit"], key=canonical_json)
+    return fingerprint_data(data)
+
+
+def fingerprint_request(
+    problem: Optional[MaxMinLP],
+    algorithm: str,
+    *,
+    backend: str,
+    params: Optional[Mapping[str, Any]] = None,
+    instance_fingerprint: Optional[str] = None,
+) -> str:
+    """Fingerprint of one solve request: instance + algorithm + params + backend.
+
+    Parameters
+    ----------
+    problem:
+        The instance being solved; may be ``None`` when
+        ``instance_fingerprint`` is supplied directly (avoids re-hashing an
+        instance that the caller already fingerprinted).
+    algorithm:
+        Name of the computation, e.g. ``"local_lp"`` or ``"maxmin_exact"``.
+    backend:
+        LP backend name; part of the key because different backends may
+        return different (equally optimal) vertices.
+    params:
+        JSON-serialisable algorithm parameters (e.g. ``{"R": 2}``).
+    instance_fingerprint:
+        Pre-computed :func:`fingerprint_instance` digest.
+    """
+    if instance_fingerprint is None:
+        if problem is None:
+            raise ValueError("either problem or instance_fingerprint is required")
+        instance_fingerprint = fingerprint_instance(problem)
+    payload = {
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "instance": instance_fingerprint,
+        "algorithm": algorithm,
+        "backend": backend,
+        "params": dict(params) if params else {},
+    }
+    return fingerprint_data(payload)

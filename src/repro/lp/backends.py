@@ -50,7 +50,15 @@ def _solve_scipy(lp: LinearProgram) -> LPResult:
         return LPResult(LPStatus.INFEASIBLE, None, None, backend="scipy")
     if result.status == 3:
         return LPResult(LPStatus.UNBOUNDED, None, None, backend="scipy")
-    return LPResult(LPStatus.ERROR, None, None, backend="scipy")
+    # Statuses beyond {optimal, infeasible, unbounded} (iteration limit,
+    # numerical difficulties, future additions) must not be silently
+    # collapsed into a result object callers might ignore.
+    raise SolverError(
+        f"backend 'scipy' returned unexpected status {result.status} "
+        f"({getattr(result, 'message', '')!r}) for LP with "
+        f"{lp.n_variables} variables, {lp.n_inequalities} inequality and "
+        f"{lp.n_equalities} equality constraints"
+    )
 
 
 _BACKENDS: Dict[str, Callable[[LinearProgram], LPResult]] = {

@@ -1,0 +1,122 @@
+"""Unit tests for the two-tier content-addressed result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import ResultCache
+
+KEY = "ab" + "0" * 62
+OTHER = "cd" + "1" * 62
+
+
+class TestMemoryTier:
+    def test_miss_then_hit_round_trip(self):
+        cache = ResultCache()
+        assert cache.get(KEY) is None
+        assert cache.stats.misses == 1
+        cache.put(KEY, {"value": 1.5})
+        assert cache.get(KEY) == {"value": 1.5}
+        assert cache.stats.hits == 1
+        assert cache.stats.puts == 1
+
+    def test_contains_and_len(self):
+        cache = ResultCache()
+        assert KEY not in cache
+        cache.put(KEY, [1, 2])
+        assert KEY in cache
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_memory_entries=2)
+        cache.put("a" * 64, 1)
+        cache.put("b" * 64, 2)
+        cache.get("a" * 64)  # refresh "a"; "b" becomes LRU
+        cache.put("c" * 64, 3)
+        assert "b" * 64 not in cache
+        assert cache.get("a" * 64) == 1
+        assert cache.get("c" * 64) == 3
+        assert cache.stats.evictions == 1
+
+    def test_invalidate(self):
+        cache = ResultCache()
+        cache.put(KEY, 1)
+        assert cache.invalidate(KEY)
+        assert cache.get(KEY) is None
+        assert not cache.invalidate(KEY)
+        assert cache.stats.invalidations == 1
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_memory_entries=0)
+
+
+class TestDiskTier:
+    def test_round_trip_through_disk(self, tmp_path):
+        writer = ResultCache(directory=tmp_path)
+        writer.put(KEY, {"objective": 2.0, "x": [{"v": "v1", "x": 1.0}]})
+        # A brand-new cache object (fresh process in spirit) sees the entry.
+        reader = ResultCache(directory=tmp_path)
+        assert reader.get(KEY) == {"objective": 2.0, "x": [{"v": "v1", "x": 1.0}]}
+        assert reader.stats.disk_hits == 1
+        # The disk hit was promoted into the memory tier.
+        assert len(reader) == 1
+
+    def test_content_addressed_layout(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put(KEY, 1)
+        path = tmp_path / KEY[:2] / f"{KEY}.json"
+        assert path.is_file()
+        assert json.loads(path.read_text())["key"] == KEY
+
+    def test_non_finite_floats_round_trip(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put(KEY, {"objective": float("inf")})
+        reader = ResultCache(directory=tmp_path)
+        assert reader.get(KEY)["objective"] == float("inf")
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put(KEY, 1)
+        (tmp_path / KEY[:2] / f"{KEY}.json").write_text("{not json")
+        reader = ResultCache(directory=tmp_path)
+        assert reader.get(KEY) is None
+        assert reader.stats.misses == 1
+
+    def test_invalidate_removes_the_file(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put(KEY, 1)
+        assert cache.invalidate(KEY)
+        assert not (tmp_path / KEY[:2] / f"{KEY}.json").exists()
+        assert ResultCache(directory=tmp_path).get(KEY) is None
+
+    def test_clear_and_introspection(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put(KEY, 1)
+        cache.put(OTHER, 2)
+        assert cache.disk_entries() == 2
+        assert cache.disk_bytes() > 0
+        cache.clear(disk=True)
+        assert cache.disk_entries() == 0
+        assert len(cache) == 0
+
+    def test_clear_memory_only_keeps_disk(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put(KEY, 1)
+        cache.clear(disk=False)
+        assert len(cache) == 0
+        assert cache.disk_entries() == 1
+        assert cache.get(KEY) == 1  # re-served from disk
+
+    def test_stats_as_dict_keys(self):
+        stats = ResultCache().stats
+        assert set(stats.as_dict()) == {
+            "hits",
+            "disk_hits",
+            "misses",
+            "puts",
+            "evictions",
+            "invalidations",
+        }

@@ -37,3 +37,21 @@ class TestDispatch:
     def test_unbounded_status(self, backend):
         lp = LinearProgram(c=[-1.0])
         assert solve_lp(lp, backend=backend).status is LPStatus.UNBOUNDED
+
+    @pytest.mark.parametrize("status", [1, 4, 99])
+    def test_unknown_scipy_status_raises_with_context(self, monkeypatch, status):
+        """Unexpected scipy statuses raise instead of returning a silent ERROR."""
+        from scipy.optimize import OptimizeResult
+
+        from repro.lp import backends
+
+        fake = OptimizeResult(status=status, message="synthetic failure", x=None)
+        monkeypatch.setattr(backends, "linprog", lambda *args, **kwargs: fake)
+        lp = LinearProgram(c=[1.0, 2.0], A_ub=[[1.0, 1.0]], b_ub=[1.0])
+        with pytest.raises(SolverError) as excinfo:
+            solve_lp(lp, backend="scipy")
+        message = str(excinfo.value)
+        assert "scipy" in message
+        assert f"status {status}" in message
+        assert "2 variables" in message
+        assert "1 inequality" in message

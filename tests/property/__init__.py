@@ -1,0 +1,1 @@
+"""Property-based tests (makes ``from .strategies import ...`` resolvable)."""

@@ -42,3 +42,78 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "THM-SAFE" in out
         assert "delta_VI" in out
+
+
+class TestBatchCommand:
+    def test_batch_runs_and_reports_engine_counters(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "batch",
+                    "--family",
+                    "cycle",
+                    "--radii",
+                    "1",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--out",
+                    str(tmp_path / "run"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "BATCH: averaging jobs" in out
+        assert "BATCH: engine counters" in out
+        assert (tmp_path / "run" / "registry.json").is_file()
+        assert (tmp_path / "run" / "results.json").is_file()
+        assert (tmp_path / "run" / "instance-00.json").is_file()
+
+    def test_batch_warm_rerun_hits_the_disk_cache(self, capsys, tmp_path):
+        args = ["batch", "--family", "cycle", "--radii", "1", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        counters_block = capsys.readouterr().out.split("engine counters")[1]
+        rows = [
+            line
+            for line in counters_block.splitlines()
+            if "|" in line and any(ch.isdigit() for ch in line)
+        ]
+        executed = int(rows[0].split("|")[2])
+        assert executed == 0
+
+    def test_batch_rejects_bad_radii(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["batch", "--family", "cycle", "--radii", "0"])
+
+    def test_batch_thread_mode_runs(self, capsys):
+        args = ["batch", "--family", "cycle", "--radii", "1", "--mode", "thread",
+                "--workers", "2", "--no-cache-dir"]
+        assert main(args) == 0
+        assert "BATCH" in capsys.readouterr().out
+
+    def test_batch_honours_repro_cache_dir_env(self, capsys, monkeypatch, tmp_path):
+        """Without --cache-dir, batch writes where `repro cache` will look."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["batch", "--family", "cycle", "--radii", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert any(path.suffix == ".json" for path in tmp_path.rglob("*"))
+
+
+class TestCacheCommand:
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        main(["batch", "--family", "cycle", "--radii", "1", "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "CACHE" in out
+        assert str(tmp_path) in out
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        # After clearing, the stats table reports zero entries.
+        assert " 0 " in capsys.readouterr().out.split("bytes")[1]
