@@ -61,6 +61,7 @@ from .exceptions import (
     InfeasibleError,
     InvalidInstanceError,
     ReproError,
+    ScenarioError,
     SolverError,
     UnboundedError,
 )
@@ -85,6 +86,18 @@ from .lowerbound import (
     corollary2_bound,
     finite_R_bound,
     theorem1_bound,
+)
+
+# The scenarios layer sits on top of everything above; imported last so the
+# registry can use the generators, apps and engine freely.
+from .scenarios import (
+    ScenarioGrid,
+    ScenarioSpec,
+    SuiteRunner,
+    SuiteSpec,
+    get_suite,
+    list_families,
+    register_family,
 )
 
 __version__ = "1.0.0"
@@ -145,6 +158,14 @@ __all__ = [
     "theorem1_bound",
     "corollary2_bound",
     "finite_R_bound",
+    # scenarios
+    "ScenarioGrid",
+    "ScenarioSpec",
+    "SuiteRunner",
+    "SuiteSpec",
+    "get_suite",
+    "list_families",
+    "register_family",
     # exceptions
     "ReproError",
     "InvalidInstanceError",
@@ -152,4 +173,5 @@ __all__ = [
     "UnboundedError",
     "SolverError",
     "ConstructionError",
+    "ScenarioError",
 ]

@@ -2,7 +2,13 @@
 
 from .ratios import AlgorithmComparison, compare_algorithms, ratio_of
 from .sweeps import growth_sweep, radius_sweep, safe_ratio_sweep
-from .tables import format_series, format_table, render_rows
+from .tables import (
+    format_markdown_table,
+    format_series,
+    format_table,
+    render_rows,
+    render_rows_markdown,
+)
 
 __all__ = [
     "AlgorithmComparison",
@@ -12,6 +18,8 @@ __all__ = [
     "safe_ratio_sweep",
     "growth_sweep",
     "format_table",
+    "format_markdown_table",
     "format_series",
     "render_rows",
+    "render_rows_markdown",
 ]

@@ -43,6 +43,11 @@ def radius_sweep(
     per-instance proven bound ``max_k M_k/m_k · max_i N_i/n_i`` and the
     coarser Theorem 3 bound ``γ(R-1)·γ(R)``.
     """
+    radii = list(radii)
+    if not radii:
+        raise ValueError("radius_sweep needs at least one radius")
+    if min(radii) < 1:
+        raise ValueError(f"radii must be positive integers, got {radii}")
     eng = engine if engine is not None else get_default_engine()
     if optimum is None:
         optimum = eng.solve_maxmin(problem, backend=backend).objective
@@ -105,6 +110,10 @@ def growth_sweep(
     problems: Dict[str, MaxMinLP], max_radius: int
 ) -> List[Dict[str, float]]:
     """Tabulate ``γ(r)`` for several instances (the Theorem 3 regime check)."""
+    if max_radius < 0:
+        raise ValueError(
+            f"growth_sweep needs a non-negative max_radius, got {max_radius}"
+        )
     rows: List[Dict[str, float]] = []
     for label, problem in problems.items():
         H = communication_hypergraph(problem)

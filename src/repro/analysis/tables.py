@@ -11,7 +11,13 @@ from __future__ import annotations
 
 from typing import Iterable, List, Mapping, Sequence, Union
 
-__all__ = ["format_table", "format_series", "render_rows"]
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "format_series",
+    "render_rows",
+    "render_rows_markdown",
+]
 
 Cell = Union[str, int, float]
 
@@ -28,6 +34,20 @@ def _format_cell(value: Cell, *, precision: int = 4) -> str:
     return str(value)
 
 
+def _format_cells(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], precision: int
+) -> "tuple[List[List[str]], List[int]]":
+    """Render all cells and compute per-column widths (shared by both renderers)."""
+    formatted: List[List[str]] = [
+        [_format_cell(cell, precision=precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+    return formatted, widths
+
+
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[Cell]],
@@ -36,13 +56,7 @@ def format_table(
     title: str = "",
 ) -> str:
     """Format ``rows`` as an aligned, pipe-separated text table."""
-    formatted: List[List[str]] = [
-        [_format_cell(cell, precision=precision) for cell in row] for row in rows
-    ]
-    widths = [len(h) for h in headers]
-    for row in formatted:
-        for idx, cell in enumerate(row):
-            widths[idx] = max(widths[idx], len(cell))
+    formatted, widths = _format_cells(headers, rows, precision)
     lines: List[str] = []
     if title:
         lines.append(title)
@@ -53,6 +67,45 @@ def format_table(
             " | ".join(cell.rjust(widths[idx]) for idx, cell in enumerate(row))
         )
     return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    precision: int = 4,
+) -> str:
+    """Format ``rows`` as a GitHub-flavoured markdown table.
+
+    Same cell formatting as :func:`format_table`, but with the pipe/dash
+    syntax markdown renderers understand; used by the scenario suite
+    reports (:mod:`repro.scenarios.report`).
+    """
+    formatted, widths = _format_cells(headers, rows, precision)
+    lines = [
+        "| " + " | ".join(h.ljust(widths[idx]) for idx, h in enumerate(headers)) + " |",
+        "|" + "|".join("-" * (w + 2) for w in widths) + "|",
+    ]
+    for row in formatted:
+        lines.append(
+            "| "
+            + " | ".join(cell.rjust(widths[idx]) for idx, cell in enumerate(row))
+            + " |"
+        )
+    return "\n".join(lines)
+
+
+def render_rows_markdown(
+    rows: Iterable[Mapping[str, Cell]], *, precision: int = 4
+) -> str:
+    """Markdown counterpart of :func:`render_rows`."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    headers = list(rows[0].keys())
+    return format_markdown_table(
+        headers, [[row[h] for h in headers] for row in rows], precision=precision
+    )
 
 
 def format_series(

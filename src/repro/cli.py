@@ -17,6 +17,7 @@ Available commands::
     all          every experiment above, in order
     batch        run averaging jobs through the batch engine (parallel + cached)
     cache        inspect or clear the on-disk result cache
+    suite        declarative scenario suites: run, list-families, show
 """
 
 from __future__ import annotations
@@ -28,7 +29,9 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
+from . import __version__
 from .analysis import growth_sweep, radius_sweep, render_rows, safe_ratio_sweep
+from .exceptions import ScenarioError
 from .apps import random_isp_network, random_sensor_network
 from .core import local_averaging_solution, optimal_solution, safe_solution
 from .engine import BatchSolver, EXECUTION_MODES, ResultCache, RunRegistry, default_cache_dir
@@ -46,6 +49,16 @@ from .lowerbound import (
     run_adversary,
     safe_algorithm,
     theorem1_bound,
+)
+from .scenarios import (
+    SuiteRunner,
+    SuiteSpec,
+    builtin_suites,
+    describe_families,
+    get_suite,
+    render_text,
+    validate_spec,
+    write_artifacts,
 )
 
 __all__ = ["main", "EXPERIMENTS"]
@@ -297,10 +310,135 @@ def run_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Suite subcommands
+# ----------------------------------------------------------------------
+def _load_suite(name_or_path: str) -> SuiteSpec:
+    """Resolve a built-in suite name or a suite JSON file path."""
+    if name_or_path in builtin_suites():
+        return get_suite(name_or_path)
+    path = Path(name_or_path)
+    if path.is_file():
+        try:
+            return SuiteSpec.from_json(path.read_text())
+        except (KeyError, TypeError, ValueError) as exc:
+            # json.JSONDecodeError is a ValueError; KeyError/TypeError cover
+            # structurally wrong suite files (missing "name", scalar grids).
+            raise SystemExit(f"invalid suite file {path}: {exc!r}")
+    raise SystemExit(
+        f"unknown suite {name_or_path!r}: not a built-in suite "
+        f"({', '.join(builtin_suites())}) and not a readable file"
+    )
+
+
+def _expansion_rows(suite: SuiteSpec) -> List[Dict[str, object]]:
+    """One table row per concrete scenario (validated against the registry).
+
+    Unknown families or parameters become a clean ``SystemExit`` so a bad
+    suite file fails with a one-line message, not a traceback.
+    """
+    rows: List[Dict[str, object]] = []
+    for spec in suite.expand():
+        try:
+            validate_spec(spec)
+        except ScenarioError as exc:
+            raise SystemExit(f"invalid suite {suite.name!r}: {exc}")
+        rows.append(
+            {
+                "scenario_id": spec.scenario_id,
+                "family": spec.family,
+                "label": spec.display_label,
+                "seed": "-" if spec.seed is None else spec.seed,
+                "radii": ",".join(map(str, spec.radii)) or "-",
+                "backend": spec.backend,
+            }
+        )
+    return rows
+
+
+def run_suite_cmd(args: argparse.Namespace) -> int:
+    """Execute (or just expand) a suite through one shared batch engine."""
+    suite = _load_suite(args.suite)
+
+    if args.dry_run:
+        rows = _expansion_rows(suite)  # validates every spec against the registry
+        _print(
+            f"SUITE {suite.name}: expansion only ({len(rows)} scenarios)",
+            render_rows(rows),
+        )
+        return 0
+
+    # Fail fast on invalid specs before building any engine state (the
+    # runner validates again, but a typo should die with a one-line error).
+    try:
+        total = len(SuiteRunner.expand(suite))
+    except ScenarioError as exc:
+        raise SystemExit(f"invalid suite {suite.name!r}: {exc}")
+
+    if args.no_cache_dir:
+        cache = ResultCache()
+    else:
+        directory = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+        cache = ResultCache(directory=directory)
+    registry = RunRegistry()
+    engine = BatchSolver(
+        mode=args.mode, max_workers=args.workers, cache=cache, registry=registry
+    )
+    runner = SuiteRunner(engine=engine)
+
+    done = [0]
+
+    def progress(result) -> None:
+        done[0] += 1
+        print(
+            f"[{done[0]}/{total}] {result.label}: "
+            f"optimum={result.optimum:.4f} safe_ratio={result.safe_ratio:.4f} "
+            f"({result.seconds:.2f}s)"
+        )
+
+    report = runner.run_suite(suite, on_result=progress)
+    print()
+    print(render_text(report))
+
+    if args.out:
+        paths = write_artifacts(report, args.out)
+        suite_job = registry.new_job("suite", suite.name)
+        registry.finish_job(
+            suite_job, artifacts=[str(path) for path in paths.values()]
+        )
+        registry_path = registry.save(Path(args.out) / "registry.json")
+        print(
+            f"\nartifacts: {paths['json']} {paths['markdown']}"
+            f"\nrun registry: {registry_path} ({len(registry)} jobs)"
+        )
+    return 0
+
+
+def run_suite_list_families(args: argparse.Namespace) -> int:
+    """Table of registered instance families and their parameter schemas."""
+    _print("SUITE: registered instance families", render_rows(describe_families()))
+    return 0
+
+
+def run_suite_show(args: argparse.Namespace) -> int:
+    """Show a suite's metadata and its full expansion."""
+    suite = _load_suite(args.suite)
+    print(f"suite: {suite.name}")
+    if suite.description:
+        print(f"description: {suite.description}")
+    print(f"families: {', '.join(suite.families)}")
+    print(f"scenarios: {len(suite)}")
+    _print("Expansion", render_rows(_expansion_rows(suite)))
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and drive the batch engine.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -356,6 +494,57 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro-maxminlp)",
     )
+
+    sp = sub.add_parser(
+        "suite", help="declarative scenario suites: expand, run, introspect"
+    )
+    suite_sub = sp.add_subparsers(dest="suite_command", required=True)
+
+    sp_run = suite_sub.add_parser(
+        "run", help="execute a suite through one shared batch engine"
+    )
+    sp_run.add_argument(
+        "suite", help="built-in suite name (paper, stress) or path to a suite JSON file"
+    )
+    sp_run.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="expand and validate only; print the scenario table, solve nothing",
+    )
+    sp_run.add_argument(
+        "--mode",
+        choices=list(EXECUTION_MODES),
+        default="serial",
+        help="execution mode of the batch engine",
+    )
+    sp_run.add_argument("--workers", type=int, default=None, help="pool size")
+    sp_run.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk result cache directory "
+        "(default: REPRO_CACHE_DIR or ~/.cache/repro-maxminlp)",
+    )
+    sp_run.add_argument(
+        "--no-cache-dir",
+        action="store_true",
+        help="keep results in memory only (no disk cache)",
+    )
+    sp_run.add_argument(
+        "--out",
+        default=None,
+        help="directory for run artifacts (results.json, report.md, registry.json)",
+    )
+
+    suite_sub.add_parser(
+        "list-families", help="list registered instance families and their parameters"
+    )
+
+    sp_show = suite_sub.add_parser(
+        "show", help="show a suite's metadata and full expansion"
+    )
+    sp_show.add_argument(
+        "suite", help="built-in suite name (paper, stress) or path to a suite JSON file"
+    )
     return parser
 
 
@@ -368,6 +557,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_batch(args)
     if args.command == "cache":
         return run_cache(args)
+    if args.command == "suite":
+        if args.suite_command == "run":
+            return run_suite_cmd(args)
+        if args.suite_command == "list-families":
+            return run_suite_list_families(args)
+        return run_suite_show(args)
     selected = list(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in selected:
         EXPERIMENTS[name](args.seed)

@@ -14,6 +14,7 @@ __all__ = [
     "UnboundedError",
     "SolverError",
     "ConstructionError",
+    "ScenarioError",
 ]
 
 
@@ -49,4 +50,13 @@ class ConstructionError(ReproError):
     Typical causes: requesting a high-girth regular bipartite graph with
     parameters for which the randomised search did not converge, or invalid
     parameters for the Section 4 lower-bound construction.
+    """
+
+
+class ScenarioError(ReproError):
+    """Raised when a scenario or suite specification cannot be resolved.
+
+    Typical causes: an unknown instance-family name, a parameter not
+    accepted by the family's builder, or an unknown suite name passed to
+    :func:`repro.scenarios.suites.get_suite`.
     """

@@ -1,0 +1,73 @@
+"""Declarative scenario registry and suite runner.
+
+This subpackage is the workload layer above the batch engine: it names
+instance families, expands parameter grids into concrete scenarios, and
+mass-executes whole suites through one shared
+:class:`~repro.engine.BatchSolver` so cross-scenario de-duplication and the
+warm cache apply to every solve.
+
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec` / :class:`SuiteSpec`
+  (JSON round-trip, cartesian-product expansion),
+* :mod:`repro.scenarios.registry` — decorator-based registry mapping family
+  names to instance builders, with per-family parameter schemas,
+* :mod:`repro.scenarios.runner` — :class:`SuiteRunner`, streaming one
+  :class:`ScenarioResult` per scenario and aggregating per-family
+  approximation-ratio summaries,
+* :mod:`repro.scenarios.report` — JSON artefacts and markdown/text reports,
+* :mod:`repro.scenarios.suites` — the built-in ``paper`` and ``stress``
+  suites.
+
+Quick start::
+
+    from repro.scenarios import SuiteRunner, get_suite
+
+    runner = SuiteRunner()
+    for result in runner.run(get_suite("paper")):
+        print(result.label, result.safe_ratio)
+"""
+
+from .registry import (
+    FamilyInfo,
+    ParamInfo,
+    build_instance,
+    describe_families,
+    family_schema,
+    get_family,
+    list_families,
+    param,
+    register_family,
+    unregister_family,
+    validate_spec,
+)
+from .report import render_markdown, render_text, write_artifacts
+from .runner import RadiusResult, ScenarioResult, SuiteReport, SuiteRunner
+from .spec import ScenarioGrid, ScenarioSpec, SuiteSpec
+from .suites import builtin_suites, get_suite, paper_suite, stress_suite
+
+__all__ = [
+    "FamilyInfo",
+    "ParamInfo",
+    "RadiusResult",
+    "ScenarioGrid",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SuiteReport",
+    "SuiteRunner",
+    "SuiteSpec",
+    "build_instance",
+    "builtin_suites",
+    "describe_families",
+    "family_schema",
+    "get_family",
+    "get_suite",
+    "list_families",
+    "param",
+    "paper_suite",
+    "register_family",
+    "render_markdown",
+    "render_text",
+    "stress_suite",
+    "unregister_family",
+    "validate_spec",
+    "write_artifacts",
+]

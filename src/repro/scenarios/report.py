@@ -1,0 +1,98 @@
+"""Suite-report rendering and artefact output.
+
+A :class:`~repro.scenarios.runner.SuiteReport` becomes two artefacts:
+
+* ``results.json`` — the full machine-readable record: the suite spec that
+  produced the run, one record per scenario (spec, sizes, optimum, safe
+  baseline, per-radius objectives/ratios), the per-family summaries and the
+  engine/cache counters.  The file embeds its input, so a run can always be
+  re-expanded and reproduced from its own artefact.
+* ``report.md`` — the human-readable side: the same tables as GitHub
+  markdown (via :func:`repro.analysis.tables.format_markdown_table`), ready
+  to paste into an issue or EXPERIMENTS.md.
+
+:func:`render_text` provides the aligned plain-text rendering the CLI
+prints (the same :func:`repro.analysis.tables.render_rows` formatting every
+other experiment uses).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from ..analysis.tables import render_rows, render_rows_markdown
+from .runner import SuiteReport
+
+__all__ = ["render_markdown", "render_text", "write_artifacts"]
+
+
+def render_text(report: SuiteReport) -> str:
+    """Aligned plain-text tables of the run (scenario rows + summaries)."""
+    sections = [
+        f"SUITE {report.suite.name}: {len(report.results)} scenarios "
+        f"in {report.seconds:.2f}s",
+        "",
+        "Per-scenario results",
+        render_rows(report.scenario_rows()),
+        "",
+        "Per-family approximation-ratio summary (R='-' is the safe baseline)",
+        render_rows(report.family_summaries()),
+    ]
+    counters = {**report.engine_stats, **report.cache_stats}
+    if counters:
+        sections += ["", "Engine/cache counters", render_rows([counters])]
+    return "\n".join(sections)
+
+
+def render_markdown(report: SuiteReport) -> str:
+    """The run as a GitHub-markdown report."""
+    suite = report.suite
+    lines = [
+        f"# Suite report: `{suite.name}`",
+        "",
+        suite.description or "(no description)",
+        "",
+        f"* scenarios: **{len(report.results)}** across "
+        f"{len(suite.families)} families ({', '.join(suite.families)})",
+        f"* wall-clock: **{report.seconds:.2f}s**",
+    ]
+    if report.engine_stats:
+        executed = report.engine_stats.get("executed", 0)
+        dedup = report.engine_stats.get("dedup_saved", 0)
+        hits = report.cache_stats.get("hits", 0)
+        lines.append(
+            f"* engine: **{executed}** LP solves executed, "
+            f"**{dedup}** units de-duplicated, **{hits}** cache hits"
+        )
+    lines += [
+        "",
+        "## Per-scenario results",
+        "",
+        render_rows_markdown(report.scenario_rows()),
+        "",
+        "## Per-family approximation-ratio summary",
+        "",
+        "`R = -` rows summarise the safe baseline.",
+        "",
+        render_rows_markdown(report.family_summaries()),
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def write_artifacts(
+    report: SuiteReport, out_dir: Union[str, Path]
+) -> Dict[str, Path]:
+    """Write ``results.json`` and ``report.md`` under ``out_dir``.
+
+    Returns the paths keyed as ``{"json": ..., "markdown": ...}``.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    json_path = out / "results.json"
+    json_path.write_text(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    md_path = out / "report.md"
+    md_path.write_text(render_markdown(report))
+    return {"json": json_path, "markdown": md_path}

@@ -1,0 +1,364 @@
+"""Suite execution: expand, fan through one shared engine, stream results.
+
+:class:`SuiteRunner` is the layer that turns a declarative
+:class:`~repro.scenarios.spec.SuiteSpec` into numbers.  One run proceeds as:
+
+1. **expand** the suite into concrete scenarios and validate every spec
+   against the registry *before* solving anything (so a typo in the last
+   grid cannot waste the first grid's work);
+2. **build** the instances and submit all reference optima to the shared
+   :class:`~repro.engine.BatchSolver` as one batch per backend — identical
+   instances appearing in different scenarios are de-duplicated there, a
+   pooled engine solves them concurrently, and a warm cache answers them
+   without any LP work;
+3. **stream** per-scenario results: for each scenario the safe baseline and
+   the local averaging algorithm at every requested radius are evaluated
+   (all through the same engine), and a :class:`ScenarioResult` is yielded
+   as soon as it is complete — callers can report progress or persist
+   records incrementally instead of waiting for the whole suite;
+4. **aggregate**: :meth:`SuiteRunner.run_suite` collects the stream into a
+   :class:`SuiteReport` with per-family approximation-ratio summaries and
+   the engine/cache counters of the run.
+
+Because every solve goes through one engine, a second run of the same suite
+against a warm disk cache performs *zero* LP solves — the acceptance tests
+assert ``engine.stats.executed == 0`` for exactly this scenario.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
+
+from ..core.local_averaging import local_averaging_solution
+from ..core.problem import MaxMinLP
+from ..core.safe import safe_approximation_guarantee, safe_solution
+from ..core.solution import approximation_ratio
+from ..engine.cache import ResultCache
+from ..engine.executor import BatchSolver
+from ..engine.jobs import RunRegistry
+from ..hypergraph.communication import communication_hypergraph
+from .registry import build_instance, validate_spec
+from .spec import ScenarioGrid, ScenarioSpec, SuiteSpec
+
+__all__ = ["RadiusResult", "ScenarioResult", "SuiteReport", "SuiteRunner"]
+
+
+def _as_suite(scenarios: Iterable[ScenarioSpec], *, name: str = "ad-hoc") -> SuiteSpec:
+    """Wrap loose scenarios into a suite (one single-choice grid each)."""
+    grids = tuple(
+        ScenarioGrid(
+            family=spec.family,
+            params={key: [value] for key, value in spec.params.items()},
+            seeds=(spec.seed,),
+            radii=spec.radii,
+            backend=spec.backend,
+            label=spec.label,
+        )
+        for spec in scenarios
+    )
+    return SuiteSpec(name=name, grids=grids)
+
+
+@dataclass(frozen=True)
+class RadiusResult:
+    """Local averaging at one radius: objective, ratio and proven bound."""
+
+    R: int
+    objective: float
+    ratio: float
+    proven_ratio_bound: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "R": self.R,
+            "objective": self.objective,
+            "ratio": self.ratio,
+            "proven_ratio_bound": self.proven_ratio_bound,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything measured for one scenario of a suite.
+
+    ``seconds`` covers the per-scenario work only (safe baseline, hypergraph
+    construction and the averaging solves); the reference optimum is solved
+    in the upfront cross-scenario batch, so its time is part of
+    :attr:`SuiteReport.seconds` but not attributed to individual scenarios.
+    """
+
+    spec: ScenarioSpec
+    n_agents: int
+    n_resources: int
+    n_beneficiaries: int
+    optimum: float
+    safe_objective: float
+    safe_ratio: float
+    safe_guarantee: float
+    radii: Sequence[RadiusResult]
+    seconds: float
+
+    @property
+    def family(self) -> str:
+        return self.spec.family
+
+    @property
+    def label(self) -> str:
+        return self.spec.display_label
+
+    @property
+    def scenario_id(self) -> str:
+        return self.spec.scenario_id
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable record (the artefact's per-scenario rows)."""
+        return {
+            "scenario_id": self.scenario_id,
+            "label": self.label,
+            "spec": self.spec.to_dict(),
+            "n_agents": self.n_agents,
+            "n_resources": self.n_resources,
+            "n_beneficiaries": self.n_beneficiaries,
+            "optimum": self.optimum,
+            "safe_objective": self.safe_objective,
+            "safe_ratio": self.safe_ratio,
+            "safe_guarantee": self.safe_guarantee,
+            "radii": [entry.as_dict() for entry in self.radii],
+            "seconds": self.seconds,
+        }
+
+
+@dataclass
+class SuiteReport:
+    """The collected outcome of one suite run."""
+
+    suite: SuiteSpec
+    results: List[ScenarioResult] = field(default_factory=list)
+    engine_stats: Dict[str, int] = field(default_factory=dict)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+
+    def scenario_rows(self) -> List[Dict[str, Any]]:
+        """One flat table row per (scenario, radius) pair, plus baselines."""
+        rows: List[Dict[str, Any]] = []
+        for result in self.results:
+            base = {
+                "family": result.family,
+                "label": result.label,
+                "agents": result.n_agents,
+                "optimum": result.optimum,
+                "safe_ratio": result.safe_ratio,
+            }
+            if not result.radii:
+                rows.append({**base, "R": "-", "objective": result.safe_objective,
+                             "ratio": result.safe_ratio})
+                continue
+            for entry in result.radii:
+                rows.append(
+                    {
+                        **base,
+                        "R": entry.R,
+                        "objective": entry.objective,
+                        "ratio": entry.ratio,
+                    }
+                )
+        return rows
+
+    def family_summaries(self) -> List[Dict[str, Any]]:
+        """Approximation-ratio aggregates per (family, radius).
+
+        ``R = "-"`` rows summarise the safe baseline of the family; numbered
+        rows summarise the averaging algorithm at that radius.  ``scenarios``
+        is the number of samples behind *that row* (scenarios of the family
+        that actually ran at that radius).  Infinite ratios (an achieved
+        objective of 0) propagate honestly into both aggregates.
+        """
+        groups: Dict[Any, List[float]] = {}
+        for result in self.results:
+            groups.setdefault((result.family, "-"), []).append(result.safe_ratio)
+            for entry in result.radii:
+                groups.setdefault((result.family, entry.R), []).append(entry.ratio)
+        rows: List[Dict[str, Any]] = []
+        # Baseline rows ("-") first, then radii in numeric order.
+        for (family, radius), ratios in sorted(
+            groups.items(),
+            key=lambda item: (
+                item[0][0],
+                (-1, 0) if item[0][1] == "-" else (0, item[0][1]),
+            ),
+        ):
+            rows.append(
+                {
+                    "family": family,
+                    "R": radius,
+                    "scenarios": len(ratios),
+                    "mean_ratio": sum(ratios) / len(ratios),
+                    "worst_ratio": max(ratios),
+                }
+            )
+        return rows
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The full JSON artefact of the run."""
+        return {
+            "suite": self.suite.to_dict(),
+            "n_scenarios": len(self.results),
+            "results": [result.as_dict() for result in self.results],
+            "family_summaries": self.family_summaries(),
+            "engine_stats": dict(self.engine_stats),
+            "cache_stats": dict(self.cache_stats),
+            "seconds": self.seconds,
+        }
+
+
+class SuiteRunner:
+    """Execute suites through one shared :class:`~repro.engine.BatchSolver`.
+
+    Parameters
+    ----------
+    engine:
+        The batch engine all solves are routed through.  When omitted, a
+        fresh engine is built from the remaining parameters.
+    mode / max_workers / cache / registry:
+        Forwarded to :class:`~repro.engine.BatchSolver` when ``engine`` is
+        not supplied; ``cache`` defaults to a purely in-memory
+        :class:`~repro.engine.ResultCache` (pass one with a ``directory``
+        for warm re-runs across processes).
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: Optional[BatchSolver] = None,
+        mode: str = "serial",
+        max_workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        registry: Optional[RunRegistry] = None,
+    ) -> None:
+        if engine is None:
+            engine = BatchSolver(
+                mode=mode,
+                max_workers=max_workers,
+                cache=cache if cache is not None else ResultCache(),
+                registry=registry,
+            )
+        self.engine = engine
+
+    # ------------------------------------------------------------------
+    # Expansion helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def expand(suite: Union[SuiteSpec, Iterable[ScenarioSpec]]) -> List[ScenarioSpec]:
+        """Concrete scenarios of ``suite``, each validated against the registry."""
+        if isinstance(suite, SuiteSpec):
+            scenarios = suite.expand()
+        else:
+            scenarios = list(suite)
+        for spec in scenarios:
+            validate_spec(spec)
+        return scenarios
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, suite: Union[SuiteSpec, Iterable[ScenarioSpec]]
+    ) -> Iterator[ScenarioResult]:
+        """Run every scenario, yielding each result as soon as it is ready.
+
+        The reference optima of *all* scenarios are submitted to the engine
+        first (one batch per distinct backend), so cross-scenario dedup, the
+        warm cache and pooled execution apply to the heaviest LPs of the
+        run; the per-scenario work then streams in declaration order.
+        """
+        scenarios = self.expand(suite)
+        problems: List[MaxMinLP] = [build_instance(spec) for spec in scenarios]
+
+        by_backend: Dict[str, List[int]] = {}
+        for idx, spec in enumerate(scenarios):
+            by_backend.setdefault(spec.backend, []).append(idx)
+        optima: Dict[int, float] = {}
+        for backend, indices in by_backend.items():
+            batch = self.engine.solve_maxmin_batch(
+                [problems[idx] for idx in indices], backend=backend
+            )
+            for idx, solved in zip(indices, batch):
+                optima[idx] = float(solved.objective)
+
+        for idx, (spec, problem) in enumerate(zip(scenarios, problems)):
+            start = time.perf_counter()
+            optimum = optima[idx]
+            safe_x = safe_solution(problem)
+            safe_objective = float(problem.objective(problem.to_array(safe_x)))
+            hypergraph = communication_hypergraph(problem) if spec.radii else None
+            radius_results: List[RadiusResult] = []
+            for R in spec.radii:
+                averaged = local_averaging_solution(
+                    problem,
+                    R,
+                    backend=spec.backend,
+                    hypergraph=hypergraph,
+                    engine=self.engine,
+                )
+                radius_results.append(
+                    RadiusResult(
+                        R=R,
+                        objective=float(averaged.objective),
+                        ratio=approximation_ratio(optimum, averaged.objective),
+                        proven_ratio_bound=float(averaged.proven_ratio_bound),
+                    )
+                )
+            yield ScenarioResult(
+                spec=spec,
+                n_agents=problem.n_agents,
+                n_resources=problem.n_resources,
+                n_beneficiaries=problem.n_beneficiaries,
+                optimum=optimum,
+                safe_objective=safe_objective,
+                safe_ratio=approximation_ratio(optimum, safe_objective),
+                safe_guarantee=float(safe_approximation_guarantee(problem)),
+                radii=tuple(radius_results),
+                seconds=time.perf_counter() - start,
+            )
+
+    def run_suite(
+        self,
+        suite: Union[SuiteSpec, Iterable[ScenarioSpec]],
+        *,
+        on_result: Optional[Callable[[ScenarioResult], None]] = None,
+    ) -> SuiteReport:
+        """Run the whole suite and collect the stream into a report.
+
+        ``on_result`` is invoked with each :class:`ScenarioResult` as soon
+        as it is ready — the hook the CLI uses for progress lines without
+        re-implementing the report assembly.
+        """
+        if not isinstance(suite, SuiteSpec):
+            suite = _as_suite(suite)
+        start = time.perf_counter()
+        results = []
+        for result in self.run(suite):
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        report = SuiteReport(
+            suite=suite,
+            results=results,
+            engine_stats=self.engine.stats.as_dict(),
+            seconds=time.perf_counter() - start,
+        )
+        if self.engine.cache is not None:
+            report.cache_stats = self.engine.cache.stats.as_dict()
+        return report

@@ -1,0 +1,153 @@
+"""Built-in suites: the paper's experiment grid and a stress workload.
+
+``paper`` reproduces the Section 5/6 experimental content end-to-end as one
+declarative workload: the ratio-vs-radius sweeps on the bounded-growth
+families (cycle, path, grid, torus, unit disk), the safe-algorithm regime
+on random bounded-degree instances, the Δ-regular bipartite templates of
+the Section 4 setting, and both Section 2 applications.  Every registered
+instance family appears at least once, so running the suite is also a
+whole-registry regression check.
+
+``stress`` is the same shape scaled up (larger instances, more seeds,
+deeper radii) for throughput and cache experiments; it is meant for
+benchmarking, not for the test suite.
+
+Suites are plain :class:`~repro.scenarios.spec.SuiteSpec` values — use
+``SuiteSpec.to_json`` to export one as a starting point for a custom suite
+file (see ``examples/custom_suite.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..exceptions import ScenarioError
+from .spec import ScenarioGrid, SuiteSpec
+
+__all__ = ["builtin_suites", "get_suite", "paper_suite", "stress_suite"]
+
+
+def paper_suite() -> SuiteSpec:
+    """The Section 5/6 experiment grid as one declarative suite."""
+    return SuiteSpec(
+        name="paper",
+        description=(
+            "Reproduces the paper's experimental content: averaging ratio vs "
+            "radius on bounded-growth families, the safe baseline on random "
+            "bounded-degree instances, bipartite templates and the Section 2 "
+            "applications."
+        ),
+        grids=(
+            ScenarioGrid("cycle", params={"n": 40}, radii=(1, 2, 3)),
+            ScenarioGrid("path", params={"n": 20}, radii=(1, 2)),
+            ScenarioGrid("grid", params={"shape": (6, 6)}, radii=(1, 2)),
+            ScenarioGrid("torus", params={"shape": (6, 6)}, radii=(1, 2)),
+            ScenarioGrid(
+                "unit_disk",
+                params={"n": 36, "radius": 0.24, "max_support": 6},
+                seeds=(0,),
+                radii=(1, 2),
+            ),
+            ScenarioGrid(
+                "random_bounded_degree",
+                params={"n_agents": 30, "max_resource_support": [3, 5]},
+                seeds=(0,),
+                radii=(1,),
+            ),
+            ScenarioGrid("sidon_bipartite", params={"degree": 3}, radii=(1,)),
+            ScenarioGrid(
+                "random_regular_bipartite",
+                params={"n_side": 8, "degree": 3},
+                seeds=(0,),
+                radii=(1,),
+            ),
+            ScenarioGrid(
+                "isp",
+                params={"n_customers": 8, "n_routers": [2, 4]},
+                seeds=(0,),
+                radii=(1,),
+            ),
+            ScenarioGrid(
+                "sensor",
+                params={"n_sensors": 18, "n_relays": 6, "n_areas": 5},
+                seeds=(0,),
+                radii=(1,),
+            ),
+        ),
+    )
+
+
+def stress_suite() -> SuiteSpec:
+    """A larger workload for throughput and cache experiments."""
+    return SuiteSpec(
+        name="stress",
+        description=(
+            "Scaled-up version of the paper grid: larger instances, several "
+            "seeds, deeper radii.  Intended for benchmarking the engine and "
+            "the cache, not for the unit-test suite."
+        ),
+        grids=(
+            ScenarioGrid("cycle", params={"n": [100, 200]}, radii=(1, 2, 3, 4)),
+            ScenarioGrid("path", params={"n": [100, 200]}, radii=(1, 2, 3)),
+            ScenarioGrid(
+                "grid", params={"shape": [(10, 10), (12, 12)]}, radii=(1, 2, 3)
+            ),
+            ScenarioGrid("torus", params={"shape": [(10, 10)]}, radii=(1, 2, 3)),
+            ScenarioGrid(
+                "unit_disk",
+                params={"n": [100, 150], "radius": 0.15, "max_support": 8},
+                seeds=(0, 1),
+                radii=(1, 2),
+            ),
+            ScenarioGrid(
+                "random_bounded_degree",
+                params={
+                    "n_agents": [60, 80],
+                    "max_resource_support": [3, 5],
+                    "max_beneficiary_support": 3,
+                },
+                seeds=(0, 1),
+                radii=(1, 2),
+            ),
+            ScenarioGrid("sidon_bipartite", params={"degree": [3, 4]}, radii=(1, 2)),
+            ScenarioGrid(
+                "random_regular_bipartite",
+                params={"n_side": 16, "degree": [3, 4]},
+                seeds=(0, 1),
+                radii=(1, 2),
+            ),
+            ScenarioGrid(
+                "isp",
+                params={"n_customers": [16, 24], "n_routers": [4, 8]},
+                seeds=(0, 1),
+                radii=(1,),
+            ),
+            ScenarioGrid(
+                "sensor",
+                params={"n_sensors": [30, 40], "n_relays": 10, "n_areas": 8},
+                seeds=(0, 1),
+                radii=(1,),
+            ),
+        ),
+    )
+
+
+_BUILTIN: Dict[str, Callable[[], SuiteSpec]] = {
+    "paper": paper_suite,
+    "stress": stress_suite,
+}
+
+
+def builtin_suites() -> List[str]:
+    """Names of the built-in suites."""
+    return sorted(_BUILTIN)
+
+
+def get_suite(name: str) -> SuiteSpec:
+    """Look up a built-in suite by name."""
+    try:
+        return _BUILTIN[name]()
+    except KeyError:
+        raise ScenarioError(
+            f"unknown suite {name!r}; built-in suites: {', '.join(builtin_suites())}"
+        ) from None

@@ -63,3 +63,19 @@ class TestSweeps:
         assert len(rows) == 2
         for row in rows:
             assert row["gamma(0)"] >= row["gamma(1)"] >= 1.0
+
+    def test_radius_sweep_rejects_empty_radii(self, cycle8):
+        with pytest.raises(ValueError, match="at least one radius"):
+            radius_sweep(cycle8, [])
+
+    def test_radius_sweep_rejects_nonpositive_radii(self, cycle8):
+        with pytest.raises(ValueError, match="positive integers"):
+            radius_sweep(cycle8, [0, 1])
+
+    def test_growth_sweep_rejects_negative_max_radius(self, cycle8):
+        with pytest.raises(ValueError, match="non-negative max_radius"):
+            growth_sweep({"cycle": cycle8}, max_radius=-1)
+
+    def test_growth_sweep_allows_zero_max_radius(self, cycle8):
+        rows = growth_sweep({"cycle": cycle8}, max_radius=0)
+        assert rows[0]["gamma(0)"] >= 1.0

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+import repro
 from repro.cli import EXPERIMENTS, main
 
 
@@ -16,9 +19,21 @@ class TestCLI:
             main(["does-not-exist"])
         assert excinfo.value.code != 0
 
+    def test_unknown_suite_subcommand_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["suite", "does-not-exist"])
+        assert excinfo.value.code != 0
+
     def test_missing_argument_rejected(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(SystemExit) as excinfo:
             main([])
+        assert excinfo.value.code != 0
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
 
     def test_growth_experiment_runs(self, capsys):
         assert main(["growth", "--seed", "1"]) == 0
@@ -102,6 +117,93 @@ class TestBatchCommand:
         out = capsys.readouterr().out
         assert str(tmp_path) in out
         assert any(path.suffix == ".json" for path in tmp_path.rglob("*"))
+
+
+class TestSuiteCommand:
+    def test_list_families_prints_the_registry(self, capsys):
+        assert main(["suite", "list-families"]) == 0
+        out = capsys.readouterr().out
+        for family in ("grid", "torus", "unit_disk", "isp", "sensor",
+                       "sidon_bipartite", "random_regular_bipartite"):
+            assert family in out
+
+    def test_show_paper_suite(self, capsys):
+        assert main(["suite", "show", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "suite: paper" in out
+        assert "scenario_id" in out
+        assert "cycle[n=40]" in out
+
+    def test_run_dry_run_expands_without_solving(self, capsys):
+        assert main(["suite", "run", "paper", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "expansion only" in out
+        assert "cycle" in out and "sensor" in out
+
+    def test_run_unknown_suite_rejected(self):
+        with pytest.raises(SystemExit, match="unknown suite"):
+            main(["suite", "run", "no-such-suite", "--dry-run"])
+
+    def test_run_malformed_suite_file_rejected_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit, match="invalid suite file"):
+            main(["suite", "run", str(bad), "--dry-run"])
+        bad.write_text("{\"description\": \"missing name\"}")
+        with pytest.raises(SystemExit, match="invalid suite file"):
+            main(["suite", "run", str(bad), "--dry-run"])
+
+    def test_run_suite_with_unknown_family_rejected_cleanly(self, tmp_path):
+        bad = tmp_path / "bad-family.json"
+        bad.write_text(
+            '{"name": "x", "grids": [{"family": "no-such-family"}]}'
+        )
+        with pytest.raises(SystemExit, match="unknown instance family"):
+            main(["suite", "run", str(bad), "--dry-run"])
+
+    def test_run_custom_suite_file_with_artifacts(self, capsys, tmp_path):
+        from repro.scenarios import ScenarioGrid, SuiteSpec
+
+        suite = SuiteSpec(
+            name="custom",
+            grids=(ScenarioGrid("cycle", params={"n": 8}, radii=(1,)),),
+        )
+        suite_file = tmp_path / "suite.json"
+        suite_file.write_text(suite.to_json())
+        out_dir = tmp_path / "out"
+        assert main([
+            "suite", "run", str(suite_file),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--out", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[1/1]" in out
+        assert "SUITE custom" in out
+        assert (out_dir / "report.md").is_file()
+        assert (out_dir / "registry.json").is_file()
+        data = json.loads((out_dir / "results.json").read_text())
+        assert data["n_scenarios"] == 1
+        assert data["results"][0]["spec"]["family"] == "cycle"
+
+    def test_run_warm_rerun_executes_zero_lps(self, capsys, tmp_path):
+        from repro.scenarios import ScenarioGrid, SuiteSpec
+
+        suite_file = tmp_path / "suite.json"
+        suite_file.write_text(
+            SuiteSpec(
+                name="warm",
+                grids=(ScenarioGrid("cycle", params={"n": 8}, radii=(1, 2)),),
+            ).to_json()
+        )
+        args = ["suite", "run", str(suite_file), "--cache-dir", str(tmp_path / "c")]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        counters = capsys.readouterr().out.split("Engine/cache counters")[1]
+        row = [line for line in counters.splitlines()
+               if "|" in line and any(ch.isdigit() for ch in line)][0]
+        executed = int(row.split("|")[2])
+        assert executed == 0
 
 
 class TestCacheCommand:
