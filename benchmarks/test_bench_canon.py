@@ -1,0 +1,166 @@
+"""Experiment CANON -- orbit solve-sharing vs the per-agent local-LP path.
+
+The Section 5 locality argument says agents with isomorphic radius-``R``
+views compute identical local solutions; :mod:`repro.canon` exploits this
+by solving one local LP per view-equivalence class.  This benchmark
+quantifies the collapse on the three symmetric families named by the
+acceptance criteria:
+
+* **torus 30x30** (R=2): every view is isomorphic — 900 local LPs collapse
+  to 1 distinct solve, and the end-to-end averaging run must be at least
+  5x faster than the per-agent baseline;
+* **grid 16x16** (R=2): boundary effects leave a handful of positional
+  classes — still a collapse from 256 to O(10);
+* **random 3-regular bipartite** (R=1): locally tree-like, collapsing to
+  the few local tree shapes.
+
+The baseline is the engine's non-canonical path (``canonical_local=False``)
+— exactly the pre-canon behaviour: one compiled, fingerprinted and solved
+LP per agent.  Correctness is asserted alongside timing (objectives agree
+to solver tolerance; the orbit path is bit-identical to the canonical
+per-agent path, which the unit tests cover exhaustively).
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI smoke variant (smaller instances)
+and ``REPRO_BENCH_OUT=<path>`` to write the measured rows as JSON — the
+artefact that seeds the perf trajectory.
+
+This is an ablation of this reproduction's infrastructure, not a figure of
+the paper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import BatchSolver, ResultCache, grid_instance, local_averaging_solution
+from repro.canon import partition_views
+from repro.scenarios.registry import build_instance
+from repro.scenarios.spec import ScenarioSpec
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+
+def _bipartite(n_side: int, seed: int = 7):
+    spec = ScenarioSpec(
+        family="random_regular_bipartite",
+        params={"n_side": n_side, "degree": 3},
+        seed=seed,
+        radii=(1,),
+    )
+    return build_instance(spec)
+
+
+FAMILIES = {
+    "torus": (
+        grid_instance((16, 16) if QUICK else (30, 30), torus=True),
+        2,
+    ),
+    "grid": (grid_instance((10, 10) if QUICK else (16, 16)), 2),
+    "regular-bipartite": (_bipartite(24 if QUICK else 60), 1),
+}
+
+
+@pytest.fixture(scope="session")
+def measurements():
+    """One timed (baseline, shared) pair per family; reused by every test."""
+    rows = {}
+    for label, (problem, R) in FAMILIES.items():
+        baseline_engine = BatchSolver(cache=ResultCache(), canonical_local=False)
+        start = time.perf_counter()
+        baseline = local_averaging_solution(problem, R, engine=baseline_engine)
+        baseline_seconds = time.perf_counter() - start
+
+        shared_engine = BatchSolver(cache=ResultCache())
+        start = time.perf_counter()
+        shared = local_averaging_solution(
+            problem, R, engine=shared_engine, share_orbits=True
+        )
+        shared_seconds = time.perf_counter() - start
+
+        # The local LP *values* are unique optima — they must agree across
+        # paths to solver precision.  (The solution vectors may differ: a
+        # degenerate local LP has many optimal vertices and the canonical
+        # column order picks its own; x̃ then differs too, which is why the
+        # bit-identity guarantee is stated against the canonical per-agent
+        # path, not this legacy baseline.)
+        for u in problem.agents:
+            assert shared.local_objectives[u] == pytest.approx(
+                baseline.local_objectives[u], abs=1e-7
+            )
+        assert problem.is_feasible(problem.to_array(shared.x), tol=1e-7)
+        assert problem.is_feasible(problem.to_array(baseline.x), tol=1e-7)
+
+        rows[label] = {
+            "family": label,
+            "n_agents": problem.n_agents,
+            "R": R,
+            "baseline_solves": baseline_engine.stats.executed,
+            "shared_solves": shared_engine.stats.executed,
+            "n_orbits": shared.orbit_stats["n_orbits"],
+            "baseline_seconds": round(baseline_seconds, 4),
+            "shared_seconds": round(shared_seconds, 4),
+            "speedup": round(baseline_seconds / shared_seconds, 2),
+            "baseline_objective": baseline.objective,
+            "shared_objective": shared.objective,
+        }
+    return rows
+
+
+def test_canon_solve_collapse_and_speedup(measurements, report):
+    """Acceptance: distinct solves collapse n -> O(#classes), torus >= 5x."""
+    report(
+        "CANON: orbit solve-sharing vs per-agent baseline"
+        + (" (quick mode)" if QUICK else ""),
+        "\n".join(
+            "{family:>20}: agents={n_agents:<4} solves {baseline_solves:>4} -> "
+            "{shared_solves:<3} (orbits={n_orbits}), "
+            "{baseline_seconds:.2f}s -> {shared_seconds:.2f}s "
+            "({speedup:.1f}x)".format(**row)
+            for row in measurements.values()
+        ),
+    )
+    torus = measurements["torus"]
+    assert torus["shared_solves"] <= 5, "torus must collapse to <= 5 solves"
+    assert torus["baseline_solves"] == torus["n_agents"]
+    if not QUICK:
+        assert torus["n_agents"] == 900
+        assert torus["speedup"] >= 5.0, (
+            "the 30x30 torus acceptance criterion is a >= 5x wall-clock win; "
+            f"measured {torus['speedup']:.2f}x"
+        )
+    for row in measurements.values():
+        # Orbit counts stay O(#positional classes): far below n even on the
+        # boundary-heavy grid family (whose class count is n-independent).
+        assert row["shared_solves"] <= max(5, row["n_agents"] // 4)
+
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        Path(out).write_text(
+            json.dumps(
+                {"quick": QUICK, "rows": list(measurements.values())}, indent=2
+            )
+        )
+
+
+def test_orbit_counts_match_partition(measurements):
+    """The engine's distinct-solve count equals the orbit partition's size."""
+    for label, (problem, R) in FAMILIES.items():
+        partition = partition_views(problem, R)
+        assert partition.n_orbits == measurements[label]["shared_solves"]
+        assert partition.n_agents == problem.n_agents
+
+
+def test_shared_path_bit_identical_on_grid(measurements):
+    """Bit-identity spot check at benchmark scale (grid family)."""
+    problem, R = FAMILIES["grid"]
+    plain = local_averaging_solution(problem, R, engine=BatchSolver())
+    shared = local_averaging_solution(
+        problem, R, engine=BatchSolver(), share_orbits=True
+    )
+    assert shared.x == plain.x
+    assert shared.local_objectives == plain.local_objectives

@@ -88,6 +88,16 @@ from .lowerbound import (
     theorem1_bound,
 )
 
+# The canonicalization layer sits on top of the core and the engine: view
+# canonical forms, orbit partitions and the orbit solve planner.
+from .canon import (
+    CanonicalForm,
+    OrbitPartition,
+    canonical_view_key,
+    canonicalize_problem,
+    partition_views,
+)
+
 # The scenarios layer sits on top of everything above; imported last so the
 # registry can use the generators, apps and engine freely.
 from .scenarios import (
@@ -132,6 +142,12 @@ __all__ = [
     "fingerprint_request",
     "get_default_engine",
     "set_default_engine",
+    # canon
+    "CanonicalForm",
+    "OrbitPartition",
+    "canonical_view_key",
+    "canonicalize_problem",
+    "partition_views",
     # io
     "instance_to_dict",
     "instance_from_dict",

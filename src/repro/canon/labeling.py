@@ -1,0 +1,1025 @@
+"""Deterministic canonical labeling of local views (paper Section 5).
+
+The locality argument of Section 5 says that the output of a local algorithm
+at an agent ``u`` is a function of its radius-``R`` view alone: the agent
+solves the local LP (9) induced by the view, and that LP is determined by
+the view's coefficient structure, not by the *names* of the vertices in it.
+Two agents whose views induce the same local LP up to a relabeling of
+agents, resources and beneficiaries therefore provably compute identical
+local solutions — solving the LP once per equivalence class is enough.
+
+This module makes that argument executable.  It computes a **canonical
+form** of the local LP of a view: a relabeling of its index sets to
+``0..n-1`` positions that depends only on the isomorphism class of the
+weighted incidence structure, never on the incoming identifiers.  Equal
+canonical forms certify isomorphic views (the composed position maps *are*
+the isomorphism), so grouping agents by the form's content hash yields the
+view-equivalence classes used by :mod:`repro.canon.orbits` and the solve
+planner in :mod:`repro.canon.planner`.
+
+The labeling is computed by colour refinement (1-dimensional
+Weisfeiler–Leman) over the tripartite incidence graph
+
+* one node per agent, resource and beneficiary of the local LP,
+* an edge per non-zero coefficient ``a_iv`` / ``c_kv``, coloured by the
+  exact float value,
+
+followed by individualisation–refinement backtracking when refinement alone
+does not discretise the partition (symmetric views such as torus balls have
+non-trivial automorphism groups).  The backtracking explores the candidates
+of the first ambiguous cell, keeps the lexicographically smallest resulting
+form, and prunes candidates that an already-discovered automorphism maps to
+an explored one.  A branch budget bounds pathological inputs; on exhaustion
+the labeling degrades to a deterministic identifier-sorted fallback that is
+still *sound* (only literally identical structures share a key) but no
+longer merges every isomorphic pair.
+
+Determinism contract: the result depends only on the *set* of agents and
+coefficient entries handed in — not on their iteration order, not on the
+identifier values (except in the explicitly literal fallback), and not on
+any global state.  The engine and the orbit planner rely on this to produce
+bit-identical solutions through either code path.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.problem import Agent, Beneficiary, MaxMinLP, Resource
+
+__all__ = [
+    "CANON_FORMAT_VERSION",
+    "CanonicalForm",
+    "CanonicalIndex",
+    "canonical_view_key",
+    "canonicalize_local_lp",
+    "canonicalize_problem",
+    "view_local_structure",
+]
+
+#: Version tag mixed into every canonical key; bump when the canonical
+#: encoding changes so stale cache entries can never alias new ones.
+CANON_FORMAT_VERSION = 1
+
+#: Default bound on the number of individualisation–refinement search nodes
+#: explored before falling back to the literal labeling.  Views of the
+#: bounded-growth families stay far below this; the bound only guards
+#: against adversarially symmetric inputs (e.g. dense complete-bipartite
+#: structures whose automorphism groups are factorial).
+DEFAULT_BRANCH_BUDGET = 2048
+
+
+class _BudgetExhausted(Exception):
+    """Raised internally when the search explored too many branches."""
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The canonical form of one local LP plus the maps back to it.
+
+    Attributes
+    ----------
+    key:
+        SHA-256 content hash of the canonical form (shape, weight table and
+        relabelled coefficient entries).  Equal keys mean the underlying
+        structures are isomorphic — the hash covers the full form, so a
+        collision would require a SHA-256 collision.
+    agent_order / resource_order / beneficiary_order:
+        Original identifiers listed by canonical position:
+        ``agent_order[p]`` is the agent sitting at canonical column ``p``.
+    consumption / benefit:
+        Relabelled coefficient triples ``(row_position, agent_position,
+        value)`` in canonical (sorted) order.
+    exact:
+        ``True`` when the full canonical labeling was computed; ``False``
+        when the branch budget forced the identifier-sorted fallback (the
+        key is then literal: only structurally *identical* inputs share it).
+    """
+
+    key: str
+    agent_order: Tuple[Agent, ...]
+    resource_order: Tuple[Resource, ...]
+    beneficiary_order: Tuple[Beneficiary, ...]
+    consumption: Tuple[Tuple[int, int, float], ...]
+    benefit: Tuple[Tuple[int, int, float], ...]
+    exact: bool = True
+
+    @property
+    def n_agents(self) -> int:
+        return len(self.agent_order)
+
+    @property
+    def n_resources(self) -> int:
+        return len(self.resource_order)
+
+    @property
+    def n_beneficiaries(self) -> int:
+        return len(self.beneficiary_order)
+
+    def problem(self) -> MaxMinLP:
+        """Build the canonical LP instance itself.
+
+        Agents are the integer positions ``0..n_agents-1``, resources and
+        beneficiaries the strings ``"i<p>"`` / ``"k<p>"``; the column and
+        row orders are the canonical orders, so isomorphic views build the
+        *same matrices* and a deterministic solver returns the same vector.
+        """
+        agents = list(range(self.n_agents))
+        resources = [f"i{p}" for p in range(self.n_resources)]
+        beneficiaries = [f"k{p}" for p in range(self.n_beneficiaries)]
+        a = {(f"i{r}", v): value for r, v, value in self.consumption}
+        c = {(f"k{k}", v): value for k, v, value in self.benefit}
+        return MaxMinLP(
+            agents,
+            a,
+            c,
+            resources=resources,
+            beneficiaries=beneficiaries,
+            validate=False,
+        )
+
+    def pull_back(self, canonical_x: Dict[int, float]) -> Dict[Agent, float]:
+        """Map a solution of the canonical LP back to original agent names."""
+        return {
+            agent: float(canonical_x.get(position, 0.0))
+            for position, agent in enumerate(self.agent_order)
+        }
+
+
+def _sort_key(identifier) -> Tuple[str, str]:
+    """Deterministic order on mixed identifier types (type name, then repr)."""
+    return (type(identifier).__name__, repr(identifier))
+
+
+class _UnionFind:
+    """Minimal union-find over node indices for automorphism-orbit pruning."""
+
+    __slots__ = ("parent",)
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, v: int) -> int:
+        parent = self.parent
+        root = v
+        while parent[root] != root:
+            root = parent[root]
+        while parent[v] != root:
+            parent[v], v = root, parent[v]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+class _Canonicalizer:
+    """One canonicalisation run over a fixed incidence structure."""
+
+    def __init__(
+        self,
+        agents: Sequence[Agent],
+        resources: Sequence[Resource],
+        beneficiaries: Sequence[Beneficiary],
+        cons: Sequence[Tuple[int, int, float]],
+        bens: Sequence[Tuple[int, int, float]],
+        branch_budget: int,
+    ) -> None:
+        # cons rows are (resource_index, agent_index, value) in *internal*
+        # (identifier-sorted) indices; bens likewise for beneficiaries.
+        self.n_agents = len(agents)
+        self.n_resources = len(resources)
+        self.n_beneficiaries = len(beneficiaries)
+        self.n_nodes = self.n_agents + self.n_resources + self.n_beneficiaries
+        self.budget = branch_budget
+
+        weights = sorted({value for _r, _a, value in cons}
+                         | {value for _k, _a, value in bens})
+        self.weight_table = np.asarray(weights, dtype=np.float64)
+        wid = {value: idx for idx, value in enumerate(weights)}
+        self.n_weights = max(len(weights), 1)
+
+        # Undirected incidence edges, stored once per endpoint direction.
+        n_edges = len(cons) + len(bens)
+        ends_a = np.empty(n_edges, dtype=np.int64)
+        ends_b = np.empty(n_edges, dtype=np.int64)
+        wids = np.empty(n_edges, dtype=np.int64)
+        for idx, (r, a, value) in enumerate(cons):
+            ends_a[idx] = a
+            ends_b[idx] = self.n_agents + r
+            wids[idx] = wid[value]
+        offset = len(cons)
+        for idx, (k, a, value) in enumerate(bens):
+            ends_a[offset + idx] = a
+            ends_b[offset + idx] = self.n_agents + self.n_resources + k
+            wids[offset + idx] = wid[value]
+        self.edge_res = np.asarray([r for r, _a, _v in cons], dtype=np.int64)
+        self.edge_res_agent = np.asarray([a for _r, a, _v in cons], dtype=np.int64)
+        self.edge_res_wid = wids[: len(cons)].copy()
+        self.edge_ben = np.asarray([k for k, _a, _v in bens], dtype=np.int64)
+        self.edge_ben_agent = np.asarray([a for _k, a, _v in bens], dtype=np.int64)
+        self.edge_ben_wid = wids[len(cons):].copy()
+
+        self.node = np.concatenate([ends_a, ends_b])
+        self.nbr = np.concatenate([ends_b, ends_a])
+        self.wid = np.concatenate([wids, wids])
+        counts = np.bincount(self.node, minlength=self.n_nodes)
+        self.degrees = counts
+        self.starts = np.concatenate(([0], np.cumsum(counts)))
+        order = np.argsort(self.node, kind="stable")
+        self.node = self.node[order]
+        self.nbr = self.nbr[order]
+        self.wid = self.wid[order]
+
+    # ------------------------------------------------------------------
+    # Colour refinement
+    # ------------------------------------------------------------------
+    def initial_colors(self) -> np.ndarray:
+        colors = np.zeros(self.n_nodes, dtype=np.int64)
+        colors[self.n_agents: self.n_agents + self.n_resources] = 1
+        colors[self.n_agents + self.n_resources:] = 2
+        return colors
+
+    def structure_key(self) -> Tuple:
+        """Hashable digest of the identifier-sorted coefficient structure.
+
+        Two views with equal keys present byte-identical inputs to the
+        labeling algorithm, which therefore returns byte-identical
+        labelings — the basis of :class:`CanonicalIndex`'s structure memo.
+        """
+        return (
+            self.n_agents,
+            self.n_resources,
+            self.n_beneficiaries,
+            self.weight_table.tobytes(),
+            self.edge_res.tobytes(),
+            self.edge_res_agent.tobytes(),
+            self.edge_res_wid.tobytes(),
+            self.edge_ben.tobytes(),
+            self.edge_ben_agent.tobytes(),
+            self.edge_ben_wid.tobytes(),
+        )
+
+    @staticmethod
+    def _mix(values: np.ndarray) -> np.ndarray:
+        """SplitMix64-style integer mixing (vectorised, deterministic)."""
+        x = values.astype(np.uint64, copy=True)
+        x += np.uint64(0x9E3779B97F4A7C15)
+        x ^= x >> np.uint64(30)
+        x *= np.uint64(0xBF58476D1CE4E5B9)
+        x ^= x >> np.uint64(27)
+        x *= np.uint64(0x94D049BB133111EB)
+        x ^= x >> np.uint64(31)
+        return x
+
+    def refine(self, colors: np.ndarray) -> np.ndarray:
+        """Run colour refinement to a stable partition; returns canonical ints.
+
+        Each round every node's signature is (own colour, multiset of
+        (neighbour colour, edge weight id)); the multiset is summarised by a
+        wrap-around sum of mixed 64-bit hashes (order-free, hence an
+        isomorphism invariant) and signatures are ranked by (old colour,
+        hash), which keeps colour values canonical and the refinement
+        monotone — cells only ever split, and the agent/resource/
+        beneficiary blocks stay contiguous.  A hash collision can only make
+        the partition *coarser* than true WL, which costs extra search
+        branches but never correctness: membership in an orbit is decided
+        by the exact serialised form, not by the colours.
+        """
+        if self.n_nodes == 0:
+            return colors
+        n_colors = int(np.unique(colors).size)
+        ends = self.starts[1:]
+        has_edges = self.node.size > 0
+        while True:
+            if has_edges:
+                code = colors[self.nbr] * np.int64(self.n_weights) + self.wid
+                hashed = self._mix(code)
+                # Clip so trailing zero-degree nodes stay in reduceat's
+                # index range; their (meaningless) sums are zeroed below.
+                idx = np.minimum(self.starts[:-1], self.node.size - 1)
+                sums = np.add.reduceat(hashed, idx)
+                sums[self.degrees == 0] = 0
+            else:
+                sums = np.zeros(self.n_nodes, dtype=np.uint64)
+            order = np.lexsort((sums, colors))
+            sorted_old = colors[order]
+            sorted_sum = sums[order]
+            boundary = np.empty(self.n_nodes, dtype=np.int64)
+            boundary[0] = 0
+            if self.n_nodes > 1:
+                changed = (sorted_old[1:] != sorted_old[:-1]) | (
+                    sorted_sum[1:] != sorted_sum[:-1]
+                )
+                boundary[1:] = np.cumsum(changed)
+            new_colors = np.empty(self.n_nodes, dtype=np.int64)
+            new_colors[order] = boundary
+            new_n = int(boundary[-1]) + 1
+            if new_n == n_colors:
+                return new_colors
+            colors = new_colors
+            n_colors = new_n
+
+    # ------------------------------------------------------------------
+    # Individualisation–refinement search
+    # ------------------------------------------------------------------
+    def _target_cell(self, colors: np.ndarray) -> Optional[np.ndarray]:
+        """The smallest (then lowest-colour) non-singleton cell, or None."""
+        values, counts = np.unique(colors, return_counts=True)
+        mask = counts > 1
+        if not mask.any():
+            return None
+        candidates = values[mask]
+        sizes = counts[mask]
+        best = candidates[np.lexsort((candidates, sizes))[0]]
+        return np.flatnonzero(colors == best)
+
+    def _form_bytes(self, colors: np.ndarray) -> bytes:
+        """Serialise the relabelled structure under a discrete colouring."""
+        a_pos = colors
+        res_pos = colors - self.n_agents
+        ben_pos = colors - self.n_agents - self.n_resources
+        header = np.asarray(
+            [
+                CANON_FORMAT_VERSION,
+                self.n_agents,
+                self.n_resources,
+                self.n_beneficiaries,
+                len(self.weight_table),
+            ],
+            dtype=np.int64,
+        )
+        cons = np.column_stack(
+            (
+                res_pos[self.n_agents + self.edge_res],
+                a_pos[self.edge_res_agent],
+                self.edge_res_wid,
+            )
+        ) if self.edge_res.size else np.empty((0, 3), dtype=np.int64)
+        bens = np.column_stack(
+            (
+                ben_pos[self.n_agents + self.n_resources + self.edge_ben],
+                a_pos[self.edge_ben_agent],
+                self.edge_ben_wid,
+            )
+        ) if self.edge_ben.size else np.empty((0, 3), dtype=np.int64)
+        if cons.size:
+            cons = cons[np.lexsort((cons[:, 1], cons[:, 0]))]
+        if bens.size:
+            bens = bens[np.lexsort((bens[:, 1], bens[:, 0]))]
+        return b"".join(
+            (
+                header.tobytes(),
+                self.weight_table.tobytes(),
+                cons.astype(np.int64, copy=False).tobytes(),
+                bens.astype(np.int64, copy=False).tobytes(),
+            )
+        )
+
+    def _individualize(self, colors: np.ndarray, v: int) -> np.ndarray:
+        out = colors * 2 + 1
+        out[v] -= 1
+        return out
+
+    def search(self) -> Tuple[bytes, np.ndarray]:
+        """Full canonical labeling: (minimal form bytes, node -> position)."""
+        return self.search_from(self.refine(self.initial_colors()))
+
+    def search_from(self, stable: np.ndarray) -> Tuple[bytes, np.ndarray]:
+        """Canonical labeling starting from a pre-computed stable colouring."""
+        self._auto = _UnionFind(self.n_nodes)
+        self._best_form: Optional[bytes] = None
+        self._best_colors: Optional[np.ndarray] = None
+        self._nodes_left = self.budget
+        self._search_from(stable)
+        assert self._best_form is not None and self._best_colors is not None
+        return self._best_form, self._best_colors
+
+    def _search_from(self, colors: np.ndarray) -> None:
+        cell = self._target_cell(colors)
+        if cell is None:
+            form = self._form_bytes(colors)
+            if self._best_form is None or form < self._best_form:
+                self._best_form = form
+                self._best_colors = colors
+            elif form == self._best_form:
+                # Equal forms certify an automorphism: the node at position
+                # p of either labeling plays the same structural role.
+                assert self._best_colors is not None
+                by_pos_best = np.argsort(self._best_colors)
+                by_pos_here = np.argsort(colors)
+                for a, b in zip(by_pos_best, by_pos_here):
+                    self._auto.union(int(a), int(b))
+            return
+        explored: List[int] = []
+        for v in cell:
+            v = int(v)
+            root = self._auto.find(v)
+            if any(self._auto.find(u) == root for u in explored):
+                continue  # an automorphism maps v onto an explored branch
+            explored.append(v)
+            if self._nodes_left <= 0:
+                raise _BudgetExhausted
+            self._nodes_left -= 1
+            self._search_from(self.refine(self._individualize(colors, v)))
+
+    def literal_colors(self) -> np.ndarray:
+        """Identity labeling (identifier-sorted order) for the fallback."""
+        return np.arange(self.n_nodes, dtype=np.int64)
+
+
+def _build_canonicalizer(
+    agents: Iterable[Agent],
+    consumption: Iterable[Tuple[Resource, Agent, float]],
+    benefit: Iterable[Tuple[Beneficiary, Agent, float]],
+    branch_budget: int,
+) -> Tuple[_Canonicalizer, List[Agent], List[Resource], List[Beneficiary]]:
+    """Sort identifiers and compile the incidence arrays.
+
+    The identifier sort is what makes every downstream step independent of
+    the caller's iteration order: the engine (canonicalising a compiled
+    sub-instance) and the orbit planner (canonicalising a raw view
+    structure) reach identical internal indexings, hence identical
+    labelings, for the same view.
+    """
+    agent_list = sorted(set(agents), key=_sort_key)
+    cons_list = list(consumption)
+    bens_list = list(benefit)
+    resource_list = sorted({r for r, _a, _v in cons_list}, key=_sort_key)
+    beneficiary_list = sorted({k for k, _a, _v in bens_list}, key=_sort_key)
+    agent_index = {a: idx for idx, a in enumerate(agent_list)}
+    resource_index = {r: idx for idx, r in enumerate(resource_list)}
+    beneficiary_index = {k: idx for idx, k in enumerate(beneficiary_list)}
+
+    cons = sorted(
+        (resource_index[r], agent_index[a], float(v)) for r, a, v in cons_list
+    )
+    bens = sorted(
+        (beneficiary_index[k], agent_index[a], float(v)) for k, a, v in bens_list
+    )
+    canonicalizer = _Canonicalizer(
+        agent_list, resource_list, beneficiary_list, cons, bens, branch_budget
+    )
+    return canonicalizer, agent_list, resource_list, beneficiary_list
+
+
+def _assemble_form(
+    canonicalizer: _Canonicalizer,
+    agent_list: Sequence[Agent],
+    resource_list: Sequence[Resource],
+    beneficiary_list: Sequence[Beneficiary],
+    form_bytes: bytes,
+    positions: np.ndarray,
+    exact: bool,
+) -> CanonicalForm:
+    """Turn a discrete labeling into the public :class:`CanonicalForm`."""
+    n_a, n_r = canonicalizer.n_agents, canonicalizer.n_resources
+    agent_order: List[Agent] = [None] * n_a  # type: ignore[list-item]
+    for idx, agent in enumerate(agent_list):
+        agent_order[int(positions[idx])] = agent
+    resource_order: List[Resource] = [None] * n_r  # type: ignore[list-item]
+    for idx, resource in enumerate(resource_list):
+        resource_order[int(positions[n_a + idx]) - n_a] = resource
+    beneficiary_order: List[Beneficiary] = [None] * len(beneficiary_list)  # type: ignore[list-item]
+    for idx, beneficiary in enumerate(beneficiary_list):
+        beneficiary_order[int(positions[n_a + n_r + idx]) - n_a - n_r] = beneficiary
+
+    weight_table = canonicalizer.weight_table
+    consumption_canonical = tuple(
+        sorted(
+            (
+                int(positions[n_a + r]) - n_a,
+                int(positions[a]),
+                float(weight_table[w]) if weight_table.size else 0.0,
+            )
+            for r, a, w in zip(
+                canonicalizer.edge_res,
+                canonicalizer.edge_res_agent,
+                canonicalizer.edge_res_wid,
+            )
+        )
+    )
+    benefit_canonical = tuple(
+        sorted(
+            (
+                int(positions[n_a + n_r + k]) - n_a - n_r,
+                int(positions[a]),
+                float(weight_table[w]) if weight_table.size else 0.0,
+            )
+            for k, a, w in zip(
+                canonicalizer.edge_ben,
+                canonicalizer.edge_ben_agent,
+                canonicalizer.edge_ben_wid,
+            )
+        )
+    )
+
+    tag = b"exact:" if exact else b"literal:"
+    digest = sha256(tag)
+    digest.update(form_bytes)
+    if not exact:
+        # Literal keys must separate structures that merely *index*
+        # identically: include the identifiers themselves.
+        digest.update(repr((list(agent_list), list(resource_list),
+                            list(beneficiary_list))).encode())
+    return CanonicalForm(
+        key=digest.hexdigest(),
+        agent_order=tuple(agent_order),
+        resource_order=tuple(resource_order),
+        beneficiary_order=tuple(beneficiary_order),
+        consumption=consumption_canonical,
+        benefit=benefit_canonical,
+        exact=exact,
+    )
+
+
+def canonicalize_local_lp(
+    agents: Iterable[Agent],
+    consumption: Iterable[Tuple[Resource, Agent, float]],
+    benefit: Iterable[Tuple[Beneficiary, Agent, float]],
+    *,
+    branch_budget: int = DEFAULT_BRANCH_BUDGET,
+) -> CanonicalForm:
+    """Canonicalise one local LP given as raw coefficient structure.
+
+    Parameters
+    ----------
+    agents:
+        The agents of the view (the LP's columns).
+    consumption:
+        Triples ``(resource, agent, a_iv)`` — the clipped packing rows.
+    benefit:
+        Triples ``(beneficiary, agent, c_kv)`` — the fully-contained
+        objective rows.
+    branch_budget:
+        Bound on individualisation–refinement search nodes; exhausted
+        budgets fall back to the sound literal labeling (``exact=False``).
+
+    The result is independent of the iteration order of all three inputs.
+    When canonicalising many views of one instance, prefer
+    :class:`CanonicalIndex` — it full-searches one representative per
+    equivalence class and matches the rest, which is several times faster.
+    """
+    canonicalizer, agent_list, resource_list, beneficiary_list = _build_canonicalizer(
+        agents, consumption, benefit, branch_budget
+    )
+    try:
+        form_bytes, colors = canonicalizer.search()
+        exact = True
+    except _BudgetExhausted:
+        colors = canonicalizer.literal_colors()
+        form_bytes = canonicalizer._form_bytes(colors)
+        exact = False
+    return _assemble_form(
+        canonicalizer, agent_list, resource_list, beneficiary_list,
+        form_bytes, colors, exact,
+    )
+
+
+# ----------------------------------------------------------------------
+# The canonical index: search once per class, match every other member
+# ----------------------------------------------------------------------
+@dataclass
+class _RegisteredForm:
+    """Per-class matching data kept by :class:`CanonicalIndex`."""
+
+    form: CanonicalForm
+    stable_by_position: List[int]  # stable refinement colour per position
+    positions_by_color: Dict[int, List[int]]
+    edge_sets: List[frozenset]  # position -> {(nbr position, wid)}
+    adj_by_wc: List[Dict[Tuple[int, int], Tuple[int, ...]]]
+    n_edges: int
+
+
+class CanonicalIndex:
+    """Canonicalise many views, amortising the search across equal classes.
+
+    The full individualisation–refinement search runs once per distinct
+    canonical form; subsequent structurally equivalent views are *matched*
+    against the registered form (a colour-guided sub-isomorphism search
+    that certifies the bijection edge by edge).  The outcome for a view is
+    a pure function of the view's structure — the canonical form of a class
+    is unique, so it does not matter which member's search discovered it or
+    whether a match or a search produced the labeling.  The engine and the
+    orbit planner therefore stay bit-for-bit interchangeable even though
+    each keeps its own index.
+
+    The index is an unguarded pure cache: concurrent use from several
+    threads can at worst duplicate work or register a redundant equal-key
+    entry (slowing later matches), never change a labeling — every result
+    is a deterministic function of the view alone.
+    """
+
+    #: Bound on the literal-structure memo; it is a pure cache, so clearing
+    #: it on overflow only costs recomputation, never correctness.
+    MAX_STRUCTURE_MEMO = 50_000
+
+    def __init__(
+        self,
+        *,
+        branch_budget: int = DEFAULT_BRANCH_BUDGET,
+        match_budget: int = 20000,
+    ) -> None:
+        self.branch_budget = branch_budget
+        self.match_budget = match_budget
+        self._classes: Dict[Tuple, List[_RegisteredForm]] = {}
+        # Literal-structure memo: views whose identifier-sorted coefficient
+        # arrays coincide (common on translation-invariant families) share
+        # one labeling computation outright.  Pure-cache: the algorithm is
+        # deterministic on the sorted arrays, so a hit returns exactly what
+        # a fresh computation would.  Exact forms only — literal-fallback
+        # keys embed identifiers and must stay per-view.
+        self._structure_memo: Dict[Tuple, Tuple[np.ndarray, CanonicalForm]] = {}
+        self.stats = {"searched": 0, "matched": 0, "literal": 0, "memoized": 0}
+
+    # ------------------------------------------------------------------
+    def canonical_form(
+        self,
+        agents: Iterable[Agent],
+        consumption: Iterable[Tuple[Resource, Agent, float]],
+        benefit: Iterable[Tuple[Beneficiary, Agent, float]],
+    ) -> CanonicalForm:
+        """Canonical form of one view (match fast path, search slow path).
+
+        The labeling of a view is a pure function of the view itself: it is
+        produced by the deterministic matcher against the class's unique
+        canonical form whenever the matcher succeeds — *including* for the
+        member whose search discovered the form (it is re-matched against
+        its own form) — and by the full search otherwise.  Whether the form
+        was already registered, and by whom, therefore never changes any
+        member's labeling; this is what keeps warm and cold engines, and
+        the engine and the orbit planner, bit-for-bit interchangeable.
+        """
+        canonicalizer, agent_list, resource_list, beneficiary_list = (
+            _build_canonicalizer(agents, consumption, benefit, self.branch_budget)
+        )
+        memo_key = canonicalizer.structure_key()
+        if len(self._structure_memo) > self.MAX_STRUCTURE_MEMO:
+            self._structure_memo.clear()
+        memoized = self._structure_memo.get(memo_key)
+        if memoized is not None:
+            positions, template = memoized
+            self.stats["memoized"] += 1
+            return self._templated_form(
+                agent_list, resource_list, beneficiary_list, template, positions
+            )
+        stable = canonicalizer.refine(canonicalizer.initial_colors())
+        invariant = self._invariant_key(canonicalizer, stable)
+        for registered in self._classes.get(invariant, ()):
+            positions = self._match(canonicalizer, stable, registered)
+            if positions is not None:
+                self.stats["matched"] += 1
+                self._structure_memo[memo_key] = (positions, registered.form)
+                return self._templated_form(
+                    agent_list, resource_list, beneficiary_list,
+                    registered.form, positions,
+                )
+        try:
+            form_bytes, colors = canonicalizer.search_from(stable)
+        except _BudgetExhausted:
+            colors = canonicalizer.literal_colors()
+            form_bytes = canonicalizer._form_bytes(colors)
+            self.stats["literal"] += 1
+            return _assemble_form(
+                canonicalizer, agent_list, resource_list, beneficiary_list,
+                form_bytes, colors, False,
+            )
+        self.stats["searched"] += 1
+        form = _assemble_form(
+            canonicalizer, agent_list, resource_list, beneficiary_list,
+            form_bytes, colors, True,
+        )
+        registered = self._register(
+            invariant, canonicalizer, stable, colors, form
+        )
+        # Re-derive the discoverer's own labeling through the matcher so it
+        # equals what any later (or warm-engine) canonicalisation of the
+        # same view would produce.  A self-match that exhausts the budget
+        # falls back to the search labeling — which is exactly what every
+        # other path computes for this view in that case.
+        positions = self._match(canonicalizer, stable, registered)
+        if positions is None:
+            self._structure_memo[memo_key] = (colors, registered.form)
+            return form
+        self._structure_memo[memo_key] = (positions, registered.form)
+        return self._templated_form(
+            agent_list, resource_list, beneficiary_list, registered.form, positions
+        )
+
+    @staticmethod
+    def _templated_form(
+        agent_list: Sequence[Agent],
+        resource_list: Sequence[Resource],
+        beneficiary_list: Sequence[Beneficiary],
+        template: CanonicalForm,
+        positions: np.ndarray,
+    ) -> CanonicalForm:
+        """A member's form: the class content with the member's own orders."""
+        n_a, n_r = len(agent_list), len(resource_list)
+        pos = positions.tolist()
+        agent_order: List[Agent] = [None] * n_a  # type: ignore[list-item]
+        for idx, agent in enumerate(agent_list):
+            agent_order[pos[idx]] = agent
+        resource_order: List[Resource] = [None] * n_r  # type: ignore[list-item]
+        for idx, resource in enumerate(resource_list):
+            resource_order[pos[n_a + idx] - n_a] = resource
+        beneficiary_order: List[Beneficiary] = [None] * len(beneficiary_list)  # type: ignore[list-item]
+        for idx, beneficiary in enumerate(beneficiary_list):
+            beneficiary_order[pos[n_a + n_r + idx] - n_a - n_r] = beneficiary
+        return CanonicalForm(
+            key=template.key,
+            agent_order=tuple(agent_order),
+            resource_order=tuple(resource_order),
+            beneficiary_order=tuple(beneficiary_order),
+            consumption=template.consumption,
+            benefit=template.benefit,
+            exact=True,
+        )
+
+    def canonical_form_of_problem(self, problem: MaxMinLP) -> CanonicalForm:
+        """Shortcut for compiled (sub-)instances."""
+        return self.canonical_form(
+            problem.agents,
+            ((i, v, value) for (i, v), value in problem.consumption_items()),
+            ((k, v, value) for (k, v), value in problem.benefit_items()),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _invariant_key(canonicalizer: _Canonicalizer, stable: np.ndarray) -> Tuple:
+        histogram = np.bincount(stable) if stable.size else np.empty(0, np.int64)
+        return (
+            canonicalizer.n_agents,
+            canonicalizer.n_resources,
+            canonicalizer.n_beneficiaries,
+            canonicalizer.weight_table.tobytes(),
+            histogram.tobytes(),
+        )
+
+    def _register(
+        self,
+        invariant: Tuple,
+        canonicalizer: _Canonicalizer,
+        stable: np.ndarray,
+        positions: np.ndarray,
+        form: CanonicalForm,
+    ) -> "_RegisteredForm":
+        for registered in self._classes.get(invariant, ()):
+            if registered.form.key == form.key:
+                # Already indexed (a member whose match ran out of budget
+                # ends up here); registering twice would only slow matches.
+                return registered
+        n = canonicalizer.n_nodes
+        stable_arr = np.empty(n, dtype=np.int64)
+        stable_arr[positions] = stable
+        stable_by_position = [int(c) for c in stable_arr]
+        positions_by_color: Dict[int, List[int]] = {}
+        for p in range(n):
+            positions_by_color.setdefault(stable_by_position[p], []).append(p)
+        adjacency: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        for node, nbr, wid in zip(
+            canonicalizer.node.tolist(),
+            canonicalizer.nbr.tolist(),
+            canonicalizer.wid.tolist(),
+        ):
+            adjacency[int(positions[node])].append((int(positions[nbr]), wid))
+        adj_by_wc: List[Dict[Tuple[int, int], Tuple[int, ...]]] = []
+        for edges in adjacency:
+            grouped: Dict[Tuple[int, int], List[int]] = {}
+            for q, w in sorted(edges):
+                grouped.setdefault((w, stable_by_position[q]), []).append(q)
+            adj_by_wc.append({wc: tuple(qs) for wc, qs in grouped.items()})
+        entry = _RegisteredForm(
+            form=form,
+            stable_by_position=stable_by_position,
+            positions_by_color=positions_by_color,
+            edge_sets=[frozenset(edges) for edges in adjacency],
+            adj_by_wc=adj_by_wc,
+            n_edges=int(canonicalizer.node.size),
+        )
+        self._classes.setdefault(invariant, []).append(entry)
+        return entry
+
+    def _match(
+        self,
+        canonicalizer: _Canonicalizer,
+        stable: np.ndarray,
+        registered: _RegisteredForm,
+    ) -> Optional[np.ndarray]:
+        """Find the bijection node -> position onto ``registered``, or None.
+
+        A colour-guided backtracking search: nodes are assigned most
+        constrained first, candidates are positions of the same stable
+        colour, and every incident edge to an already-assigned neighbour is
+        checked immediately — a completed assignment is therefore a
+        certified isomorphism (edge counts agree and every member edge maps
+        onto a form edge injectively).
+        """
+        n = canonicalizer.n_nodes
+        if int(canonicalizer.node.size) != registered.n_edges:
+            return None
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        # Per-node adjacency as plain lists (arrays are grouped by node).
+        starts = canonicalizer.starts.tolist()
+        nbr_list = canonicalizer.nbr.tolist()
+        wid_list = canonicalizer.wid.tolist()
+        stable_list = stable.tolist()
+        member_adj: List[List[Tuple[int, int]]] = []
+        candidates: List[List[int]] = []
+        for v in range(n):
+            pool = registered.positions_by_color.get(stable_list[v])
+            if not pool:
+                return None
+            candidates.append(pool)
+            lo, hi = starts[v], starts[v + 1]
+            member_adj.append(list(zip(nbr_list[lo:hi], wid_list[lo:hi])))
+        # Connected (VF2-style) assignment order: after the seed, always
+        # pick the unordered node with the most already-ordered neighbours
+        # (ties: smallest candidate pool, colour, index) — its image is
+        # maximally constrained, so wrong symmetric choices fail within a
+        # step or two instead of exploding combinatorially.
+        shift = max(n, 2)
+        tiebreak = [
+            (len(candidates[v]) * shift + stable_list[v]) * shift + v
+            for v in range(n)
+        ]
+        fallback = sorted(range(n), key=tiebreak.__getitem__)
+        order: List[int] = []
+        placed_flags = [False] * n
+        ordered_nbrs = [0] * n
+        buckets: Dict[int, List[Tuple[int, int]]] = {}
+        top = -1  # highest ordered-neighbour count with (possibly stale) entries
+        cursor = 0
+        while len(order) < n:
+            pick = -1
+            while top >= 0:
+                heap = buckets.get(top)
+                while heap:
+                    tb, v = heap[0]
+                    if placed_flags[v] or ordered_nbrs[v] != top:
+                        heapq.heappop(heap)  # stale entry
+                        continue
+                    pick = v
+                    break
+                if pick >= 0:
+                    break
+                top -= 1
+            if pick < 0:
+                while placed_flags[fallback[cursor]]:
+                    cursor += 1
+                pick = fallback[cursor]
+            order.append(pick)
+            placed_flags[pick] = True
+            for u, _w in member_adj[pick]:
+                if not placed_flags[u]:
+                    count = ordered_nbrs[u] = ordered_nbrs[u] + 1
+                    heapq.heappush(
+                        buckets.setdefault(count, []), (tiebreak[u], u)
+                    )
+                    if count > top:
+                        top = count
+
+        form_edge_sets = registered.edge_sets
+        adj_by_wc = registered.adj_by_wc
+        assignment = [-1] * n
+        used = [False] * n
+        budget = self.match_budget
+        empty: Tuple[int, ...] = ()
+
+        def extend(depth: int) -> bool:
+            nonlocal budget
+            if depth == n:
+                return True
+            v = order[depth]
+            # Forward pruning: once any neighbour is assigned, v's image
+            # must be a same-colour, same-weight form-neighbour of that
+            # neighbour's image — usually a 1–2 element set.
+            pool: Iterable[int] = candidates[v]
+            colour = stable_list[v]
+            for u, w in member_adj[v]:
+                q = assignment[u]
+                if q >= 0:
+                    pool = adj_by_wc[q].get((w, colour), empty)
+                    break
+            for p in pool:
+                if used[p]:
+                    continue
+                if budget <= 0:
+                    raise _BudgetExhausted
+                budget -= 1
+                edges = form_edge_sets[p]
+                ok = True
+                for u, w in member_adj[v]:
+                    q = assignment[u]
+                    if q >= 0 and (q, w) not in edges:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                assignment[v] = p
+                used[p] = True
+                if extend(depth + 1):
+                    return True
+                assignment[v] = -1
+                used[p] = False
+            return False
+
+        try:
+            if extend(0):
+                return np.asarray(assignment, dtype=np.int64)
+        except _BudgetExhausted:
+            return None
+        return None
+
+
+def canonicalize_problem(
+    problem: MaxMinLP, *, branch_budget: int = DEFAULT_BRANCH_BUDGET
+) -> CanonicalForm:
+    """Canonicalise a compiled (sub-)instance — see :func:`canonicalize_local_lp`."""
+    return canonicalize_local_lp(
+        problem.agents,
+        ((i, v, value) for (i, v), value in problem.consumption_items()),
+        ((k, v, value) for (k, v), value in problem.benefit_items()),
+        branch_budget=branch_budget,
+    )
+
+
+def view_local_structure(
+    problem: MaxMinLP, view: FrozenSet[Agent]
+) -> Tuple[
+    List[Agent],
+    List[Tuple[Resource, Agent, float]],
+    List[Tuple[Beneficiary, Agent, float]],
+]:
+    """The coefficient structure of the local LP (9) over ``view``.
+
+    Exactly the structure :meth:`~repro.core.problem.MaxMinLP.local_subproblem`
+    compiles — every resource with support intersecting the view, clipped to
+    it, and every beneficiary whose support is contained in it — but as
+    plain lists, without building matrices.  The orbit planner
+    canonicalises thousands of views; skipping instance compilation for
+    every member is most of its constant-factor win.
+    """
+    keep = set(view)
+    agents = list(keep)
+    resources: set = set()
+    beneficiaries: set = set()
+    for v in agents:
+        try:
+            resources |= problem.agent_resources(v)
+            beneficiaries |= problem.agent_beneficiaries(v)
+        except KeyError:
+            raise KeyError(f"unknown agent in view: {v!r}") from None
+    cons: List[Tuple[Resource, Agent, float]] = []
+    bens: List[Tuple[Beneficiary, Agent, float]] = []
+    for i in resources:
+        for v in problem.resource_support(i):
+            if v in keep:
+                cons.append((i, v, problem.consumption(i, v)))
+    for k in beneficiaries:
+        support = problem.beneficiary_support(k)
+        if support <= keep:
+            for v in support:
+                bens.append((k, v, problem.benefit(k, v)))
+    return agents, cons, bens
+
+
+def canonical_view_key(
+    problem: MaxMinLP,
+    agent: Agent,
+    R: int,
+    *,
+    hypergraph=None,
+    branch_budget: int = DEFAULT_BRANCH_BUDGET,
+) -> str:
+    """Canonical key of ``agent``'s radius-``R`` view in ``problem``.
+
+    The key canonicalises the local LP (9) induced by the rooted view
+    ``V^u = B_H(u, R)``: it is invariant under any relabeling of the
+    instance's agents, resources and beneficiaries, and sensitive to every
+    coefficient value ``a_iv`` / ``c_kv`` inside the view.  Agents with
+    equal keys provably receive identical local solutions from the
+    Section 5 algorithm (the algorithm's output at ``u`` is a deterministic
+    function of this LP alone — which is also why the key does not need to
+    distinguish the root).
+
+    Raises :class:`ValueError` for non-positive radii, mirroring
+    :func:`repro.core.local_averaging.local_averaging_solution`.
+    """
+    if R < 1:
+        raise ValueError("canonical view keys require a radius R >= 1")
+    from ..hypergraph.communication import communication_hypergraph
+
+    H = hypergraph if hypergraph is not None else communication_hypergraph(problem)
+    view = H.ball(agent, R)
+    agents, cons, bens = view_local_structure(problem, view)
+    return canonicalize_local_lp(
+        agents, cons, bens, branch_budget=branch_budget
+    ).key

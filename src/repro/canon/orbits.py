@@ -1,0 +1,149 @@
+"""Grouping agents into view-equivalence classes (orbits).
+
+The Section 5 locality argument makes the radius-``R`` view of an agent the
+sole input of its local computation; agents whose views induce isomorphic
+local LPs form an *orbit* and provably share one local solution (up to the
+relabeling).  :func:`partition_views` computes this partition by
+canonicalising every agent's view (:mod:`repro.canon.labeling`) and
+grouping on the canonical keys; the solve planner
+(:mod:`repro.canon.planner`) then submits one LP per orbit.
+
+On vertex-transitive families the partition is extreme — every agent of a
+unit-weight torus sits in a single orbit — while irregular instances
+degrade gracefully to singleton orbits and the planner's cost converges to
+the per-agent path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from ..core.problem import Agent, MaxMinLP
+from ..hypergraph.communication import communication_hypergraph
+from ..hypergraph.hypergraph import Hypergraph
+from .labeling import (
+    DEFAULT_BRANCH_BUDGET,
+    CanonicalForm,
+    CanonicalIndex,
+    view_local_structure,
+)
+
+__all__ = ["OrbitPartition", "ViewOrbit", "partition_views"]
+
+
+@dataclass(frozen=True)
+class ViewOrbit:
+    """One view-equivalence class: its key, members and canonical form."""
+
+    key: str
+    members: Tuple[Agent, ...]
+    form: CanonicalForm = field(repr=False)
+
+    @property
+    def representative(self) -> Agent:
+        """The first member in instance order (the orbit's solved agent)."""
+        return self.members[0]
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass(frozen=True)
+class OrbitPartition:
+    """The view-equivalence partition of one instance at one radius."""
+
+    R: int
+    orbits: Tuple[ViewOrbit, ...]
+    forms: Mapping[Agent, CanonicalForm] = field(repr=False)
+
+    @property
+    def n_agents(self) -> int:
+        return sum(orbit.size for orbit in self.orbits)
+
+    @property
+    def n_orbits(self) -> int:
+        return len(self.orbits)
+
+    @property
+    def sharing_factor(self) -> float:
+        """Agents per orbit — the solve-count compression the planner gets."""
+        return self.n_agents / self.n_orbits if self.orbits else 1.0
+
+    def orbit_of(self, agent: Agent) -> ViewOrbit:
+        key = self.forms[agent].key
+        for orbit in self.orbits:
+            if orbit.key == key:
+                return orbit
+        raise KeyError(f"agent {agent!r} has no orbit")  # pragma: no cover
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact statistics row (used by ``repro canon stats``)."""
+        sizes = sorted((orbit.size for orbit in self.orbits), reverse=True)
+        return {
+            "R": self.R,
+            "agents": self.n_agents,
+            "orbits": self.n_orbits,
+            "sharing": round(self.sharing_factor, 3),
+            "largest": sizes[0] if sizes else 0,
+            "singletons": sum(1 for s in sizes if s == 1),
+            "inexact": sum(1 for orbit in self.orbits if not orbit.form.exact),
+        }
+
+
+def partition_views(
+    problem: MaxMinLP,
+    R: int,
+    *,
+    hypergraph: Optional[Hypergraph] = None,
+    views: Optional[Mapping[Agent, FrozenSet[Agent]]] = None,
+    branch_budget: int = DEFAULT_BRANCH_BUDGET,
+    index: Optional[CanonicalIndex] = None,
+) -> OrbitPartition:
+    """Partition the agents of ``problem`` into radius-``R`` view orbits.
+
+    Parameters
+    ----------
+    problem:
+        The max-min LP instance.
+    R:
+        View radius; must be at least 1 (matching the averaging algorithm).
+    hypergraph:
+        Optional pre-built communication hypergraph (built on demand).
+    views:
+        Optional pre-computed balls ``B_H(u, R)`` keyed by agent; supplying
+        them lets the averaging fast path reuse its own BFS results.  Only
+        the agents present in the mapping are partitioned, mirroring
+        :meth:`repro.engine.BatchSolver.solve_local_lps`'s acceptance of
+        view subsets.
+    branch_budget:
+        Forwarded to :mod:`repro.canon.labeling` (ignored when ``index`` is
+        given).
+    index:
+        Optional :class:`~repro.canon.labeling.CanonicalIndex` to reuse
+        across partitions (e.g. across the radii of a sweep); a fresh one
+        is created otherwise.  Canonical forms are pure functions of the
+        view structure, so sharing an index never changes the partition.
+    """
+    if R < 1:
+        raise ValueError("view orbits require a radius R >= 1")
+    if views is None:
+        H = hypergraph if hypergraph is not None else communication_hypergraph(problem)
+        views = {u: H.ball(u, R) for u in problem.agents}
+    if index is None:
+        index = CanonicalIndex(branch_budget=branch_budget)
+
+    forms: Dict[Agent, CanonicalForm] = {}
+    members: Dict[str, List[Agent]] = {}
+    for u in views:
+        agents, cons, bens = view_local_structure(problem, views[u])
+        form = index.canonical_form(agents, cons, bens)
+        forms[u] = form
+        members.setdefault(form.key, []).append(u)
+
+    orbits = tuple(
+        ViewOrbit(key=key, members=tuple(agents), form=forms[agents[0]])
+        for key, agents in members.items()
+    )
+    return OrbitPartition(R=R, orbits=orbits, forms=forms)

@@ -1,0 +1,129 @@
+"""Orbit-aware solve planning: one local LP per view-equivalence class.
+
+This is the execution half of the canonicalisation subsystem.  Where the
+per-agent path submits one local LP per agent to the batch engine, the
+planner first partitions the agents into view orbits
+(:mod:`repro.canon.orbits`) and submits exactly one *canonical* LP per
+orbit; the solved canonical vector is then pulled back into every member's
+own vertex names through that member's canonical position map.
+
+The result is bit-identical to the per-agent path, by construction rather
+than by luck: since the batch engine also canonicalises every local LP
+before solving (:meth:`repro.engine.BatchSolver.solve_subproblems`), both
+paths hand the *same matrices* to the solver and apply the *same* pull-back
+maps — the planner merely skips compiling (and fingerprinting) one
+sub-instance per agent, which is where its constant-factor win over the
+engine's content-addressed dedup comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
+
+from ..core.problem import Agent, MaxMinLP
+from ..lp.backends import DEFAULT_BACKEND
+from .labeling import DEFAULT_BRANCH_BUDGET
+from .orbits import OrbitPartition, partition_views
+
+__all__ = ["OrbitSolveStats", "orbit_solve_local_lps"]
+
+
+@dataclass(frozen=True)
+class OrbitSolveStats:
+    """What orbit sharing saved for one batch of local LPs.
+
+    Attributes
+    ----------
+    n_agents:
+        Local LPs requested (one per agent).
+    n_orbits:
+        Distinct LPs actually submitted to the engine (one per orbit).
+    shared:
+        Solves answered by a representative's solution (``n_agents -
+        n_orbits``).
+    inexact_orbits:
+        Orbits whose canonical labeling hit the branch budget and fell back
+        to the literal key (they still solve correctly, but may fail to
+        merge with isomorphic twins).
+    """
+
+    n_agents: int
+    n_orbits: int
+    shared: int
+    inexact_orbits: int
+
+    @property
+    def sharing_factor(self) -> float:
+        return self.n_agents / self.n_orbits if self.n_orbits else 1.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "n_agents": self.n_agents,
+            "n_orbits": self.n_orbits,
+            "shared": self.shared,
+            "sharing_factor": round(self.sharing_factor, 3),
+            "inexact_orbits": self.inexact_orbits,
+        }
+
+
+def orbit_solve_local_lps(
+    problem: MaxMinLP,
+    views: Mapping[Agent, FrozenSet[Agent]],
+    R: int,
+    *,
+    engine=None,
+    backend: str = DEFAULT_BACKEND,
+    branch_budget: int = DEFAULT_BRANCH_BUDGET,
+    partition: Optional[OrbitPartition] = None,
+) -> Tuple[Dict[Agent, "LocalLPOutcome"], OrbitSolveStats]:
+    """Solve every view's local LP, sharing solves across view orbits.
+
+    Returns per-agent outcomes (solution pulled back to the agent's own
+    vertex names, objective of the orbit's canonical LP) plus the sharing
+    statistics.  ``R`` is only used for the partition metadata and the
+    usual non-positive-radius guard; the views themselves drive the solve.
+    """
+    if R < 1:
+        raise ValueError("orbit solve planning requires a radius R >= 1")
+    from ..engine.executor import LocalLPOutcome, get_default_engine
+
+    eng = engine if engine is not None else get_default_engine()
+    if partition is None:
+        # Reuse the engine's long-lived CanonicalIndex when the caller did
+        # not ask for a custom budget: forms are pure functions of the view,
+        # so sharing the index never changes a labeling — it only lets
+        # repeated runs (radius sweeps, whole suites) skip re-searching
+        # classes they have already canonicalised.
+        index = None
+        if branch_budget == DEFAULT_BRANCH_BUDGET:
+            canon_index = getattr(eng, "canon_index", None)
+            if canon_index is not None:
+                index = canon_index()
+        partition = partition_views(
+            problem, R, views=views, branch_budget=branch_budget, index=index
+        )
+
+    canonical = eng.solve_canonical_local_lps(
+        [orbit.form for orbit in partition.orbits], backend=backend
+    )
+    by_key = {
+        orbit.key: outcome for orbit, outcome in zip(partition.orbits, canonical)
+    }
+
+    outcomes: Dict[Agent, LocalLPOutcome] = {}
+    for u in views:
+        form = partition.forms[u]
+        shared = by_key[form.key]
+        outcomes[u] = LocalLPOutcome(
+            x=form.pull_back(shared.x), objective=shared.objective
+        )
+    stats = OrbitSolveStats(
+        n_agents=len(partition.forms),
+        n_orbits=partition.n_orbits,
+        shared=len(partition.forms) - partition.n_orbits,
+        inexact_orbits=sum(
+            1 for orbit in partition.orbits if not orbit.form.exact
+        ),
+    )
+    return outcomes, stats

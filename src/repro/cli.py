@@ -16,7 +16,8 @@ Available commands::
     isp          the Section 2 ISP application
     all          every experiment above, in order
     batch        run averaging jobs through the batch engine (parallel + cached)
-    cache        inspect or clear the on-disk result cache
+    cache        inspect, clear or prune the on-disk result cache
+    canon        view-canonicalization statistics (orbit counts per family)
     suite        declarative scenario suites: run, list-families, show
 """
 
@@ -66,6 +67,17 @@ __all__ = ["main", "EXPERIMENTS"]
 
 def _print(title: str, body: str) -> None:
     print(f"\n{title}\n{'=' * len(title)}\n{body}")
+
+
+def _parse_radii(text: str) -> List[int]:
+    """Parse a ``--radii`` value; exits with a one-line message when invalid."""
+    try:
+        radii = [int(r) for r in text.split(",") if r.strip()]
+    except ValueError:
+        radii = []
+    if not radii or min(radii) < 1:
+        raise SystemExit("--radii must be a comma-separated list of integers >= 1")
+    return radii
 
 
 def run_growth(seed: int) -> None:
@@ -239,12 +251,7 @@ def run_batch(args: argparse.Namespace) -> int:
     engine = BatchSolver(
         mode=args.mode, max_workers=args.workers, cache=cache, registry=registry
     )
-    try:
-        radii = [int(r) for r in args.radii.split(",") if r.strip()]
-    except ValueError:
-        raise SystemExit("--radii must be a comma-separated list of integers >= 1")
-    if not radii or min(radii) < 1:
-        raise SystemExit("--radii must be a comma-separated list of integers >= 1")
+    radii = _parse_radii(args.radii)
     instances = _batch_instances(args.family, args.seed)
 
     rows = []
@@ -291,7 +298,7 @@ def run_batch(args: argparse.Namespace) -> int:
 
 
 def run_cache(args: argparse.Namespace) -> int:
-    """Inspect or clear the on-disk result cache."""
+    """Inspect, clear or prune the on-disk result cache."""
     directory = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
     cache = ResultCache(directory=directory)
     if args.action == "stats":
@@ -307,6 +314,35 @@ def run_cache(args: argparse.Namespace) -> int:
         removed = cache.disk_entries()
         cache.clear(disk=True)
         print(f"cleared {removed} cache entries under {directory}")
+    elif args.action == "prune":
+        if args.max_bytes is None or args.max_bytes < 0:
+            raise SystemExit("cache prune requires --max-bytes BYTES (>= 0)")
+        outcome = cache.prune(args.max_bytes)
+        print(
+            f"pruned {outcome['removed_entries']} entries "
+            f"({outcome['removed_bytes']} bytes) under {directory}; "
+            f"{outcome['remaining_bytes']} bytes remain"
+        )
+    return 0
+
+
+def run_canon(args: argparse.Namespace) -> int:
+    """View-orbit statistics: how much solve sharing each family admits."""
+    from .canon import partition_views
+    from .hypergraph.communication import communication_hypergraph
+
+    radii = _parse_radii(args.radii)
+    instances = _batch_instances(args.family, args.seed)
+    rows = []
+    for label, problem in instances.items():
+        hypergraph = communication_hypergraph(problem)
+        for R in radii:
+            partition = partition_views(problem, R, hypergraph=hypergraph)
+            rows.append({"instance": label, **partition.summary()})
+    _print(
+        "CANON: radius-R view orbits (one local LP solve per orbit)",
+        render_rows(rows),
+    )
     return 0
 
 
@@ -381,10 +417,13 @@ def run_suite_cmd(args: argparse.Namespace) -> int:
         directory = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
         cache = ResultCache(directory=directory)
     registry = RunRegistry()
-    engine = BatchSolver(
-        mode=args.mode, max_workers=args.workers, cache=cache, registry=registry
+    runner = SuiteRunner(
+        mode=args.mode,
+        max_workers=args.workers,
+        cache=cache,
+        registry=registry,
+        share_orbits=args.share_orbits,
     )
-    runner = SuiteRunner(engine=engine)
 
     done = [0]
 
@@ -487,12 +526,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("--seed", type=int, default=0, help="seed for randomised instances")
 
-    sp = sub.add_parser("cache", help="inspect or clear the on-disk result cache")
-    sp.add_argument("action", choices=["stats", "clear"], help="what to do")
+    sp = sub.add_parser(
+        "cache", help="inspect, clear or prune the on-disk result cache"
+    )
+    sp.add_argument("action", choices=["stats", "clear", "prune"], help="what to do")
     sp.add_argument(
         "--cache-dir",
         default=None,
         help="cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro-maxminlp)",
+    )
+    sp.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="prune: drop oldest entries until the disk tier fits this many bytes",
+    )
+
+    sp = sub.add_parser(
+        "canon",
+        help="view-canonicalization statistics (orbit counts per instance family)",
+    )
+    canon_sub = sp.add_subparsers(dest="canon_command", required=True)
+    sp_stats = canon_sub.add_parser(
+        "stats", help="orbit counts and sharing factors per instance family"
+    )
+    sp_stats.add_argument(
+        "--family",
+        choices=["grid", "cycle", "disk", "random", "all"],
+        default="all",
+        help="instance family to analyse",
+    )
+    sp_stats.add_argument(
+        "--radii", default="1,2", help="comma-separated view radii (default 1,2)"
+    )
+    sp_stats.add_argument(
+        "--seed", type=int, default=0, help="seed for randomised instances"
     )
 
     sp = sub.add_parser(
@@ -517,7 +585,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default="serial",
         help="execution mode of the batch engine",
     )
-    sp_run.add_argument("--workers", type=int, default=None, help="pool size")
+    sp_run.add_argument(
+        "--max-workers",
+        "--workers",
+        dest="workers",
+        type=int,
+        default=None,
+        help="worker pool size for thread/process mode",
+    )
+    sp_run.add_argument(
+        "--share-orbits",
+        action="store_true",
+        help="solve one local LP per view-equivalence class (bit-identical, "
+        "much faster on symmetric families)",
+    )
     sp_run.add_argument(
         "--cache-dir",
         default=None,
@@ -557,6 +638,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_batch(args)
     if args.command == "cache":
         return run_cache(args)
+    if args.command == "canon":
+        return run_canon(args)
     if args.command == "suite":
         if args.suite_command == "run":
             return run_suite_cmd(args)

@@ -69,6 +69,10 @@ class LocalAveragingResult:
     local_solutions:
         The per-agent local solutions ``x^u`` (only retained when
         ``keep_local_solutions=True`` was passed).
+    orbit_stats:
+        Sharing statistics of the ``share_orbits=True`` fast path (see
+        :class:`repro.canon.OrbitSolveStats`); ``None`` on the per-agent
+        path.
     """
 
     R: int
@@ -83,6 +87,7 @@ class LocalAveragingResult:
     local_solutions: Optional[Dict[Agent, Dict[Agent, float]]] = field(
         repr=False, default=None
     )
+    orbit_stats: Optional[Dict[str, float]] = field(repr=False, default=None)
 
 
 def solve_local_lp(
@@ -115,6 +120,7 @@ def local_averaging_solution(
     hypergraph: Optional[Hypergraph] = None,
     keep_local_solutions: bool = False,
     engine: Optional[BatchSolver] = None,
+    share_orbits: bool = False,
 ) -> LocalAveragingResult:
     """Run the Section 5 local averaging algorithm with radius ``R``.
 
@@ -139,7 +145,19 @@ def local_averaging_solution(
         are independent, so the engine may cache and parallelise them);
         defaults to the process-wide engine of
         :func:`repro.engine.get_default_engine`.  Results are bit-identical
-        across engine configurations.
+        across execution modes, worker counts and cache states; the one
+        configuration that may pick different (equally optimal) local LP
+        vertices is the legacy ``BatchSolver(canonical_local=False)`` path,
+        whose solver sees differently ordered matrices.
+    share_orbits:
+        Solve one local LP per *view-equivalence class* instead of one per
+        agent (:mod:`repro.canon`): agents whose radius-``R`` views are
+        isomorphic provably share a local solution, so on symmetric
+        families (tori, grids, regular bipartite structures) the number of
+        distinct solves collapses from ``n`` to the handful of classes.
+        The output is bit-identical to the per-agent path — both paths
+        solve the same canonical LPs and apply the same pull-back maps —
+        and :attr:`LocalAveragingResult.orbit_stats` records the sharing.
     """
     if R < 1:
         raise ValueError("the local averaging algorithm requires R >= 1")
@@ -154,7 +172,16 @@ def local_averaging_solution(
     views: Dict[Agent, FrozenSet[Agent]] = {
         u: H.ball(u, R) for u in problem.agents
     }
-    outcomes = eng.solve_local_lps(problem, views, backend=backend)
+    orbit_stats = None
+    if share_orbits:
+        from ..canon.planner import orbit_solve_local_lps
+
+        outcomes, stats = orbit_solve_local_lps(
+            problem, views, R, engine=eng, backend=backend
+        )
+        orbit_stats = stats.as_dict()
+    else:
+        outcomes = eng.solve_local_lps(problem, views, backend=backend)
     local_solutions: Dict[Agent, Dict[Agent, float]] = {
         u: outcomes[u].x for u in problem.agents
     }
@@ -224,4 +251,5 @@ def local_averaging_solution(
         proven_ratio_bound=float(resource_ratio * beneficiary_ratio),
         local_objectives=local_objectives,
         local_solutions=local_solutions if keep_local_solutions else None,
+        orbit_stats=orbit_stats,
     )

@@ -30,6 +30,7 @@ from .executor import (
 from .fingerprint import (
     FINGERPRINT_VERSION,
     canonical_json,
+    fingerprint_canonical_request,
     fingerprint_data,
     fingerprint_instance,
     fingerprint_request,
@@ -48,6 +49,7 @@ __all__ = [
     "RunRegistry",
     "canonical_json",
     "default_cache_dir",
+    "fingerprint_canonical_request",
     "fingerprint_data",
     "fingerprint_instance",
     "fingerprint_request",

@@ -63,6 +63,9 @@ class CacheStats:
         Entries stored.
     evictions:
         Memory-tier entries dropped by the LRU bound.
+    disk_evictions:
+        Disk-tier entries dropped by the ``max_disk_bytes`` cap or an
+        explicit :meth:`ResultCache.prune`.
     invalidations:
         Entries removed by explicit :meth:`ResultCache.invalidate` calls.
     """
@@ -72,6 +75,7 @@ class CacheStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
+    disk_evictions: int = 0
     invalidations: int = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -82,6 +86,7 @@ class CacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "disk_evictions": self.disk_evictions,
             "invalidations": self.invalidations,
         }
 
@@ -98,15 +103,28 @@ class ResultCache:
     directory:
         Optional disk-tier location; created on first write.  ``None``
         keeps the cache purely in-memory.
+    max_disk_bytes:
+        Optional cap on the disk tier's total size.  After every write the
+        oldest entries (by modification time) are deleted until the tier
+        fits; ``None`` leaves the tier unbounded, preserving the historical
+        behaviour.  :meth:`prune` applies the same policy on demand.
     """
 
     max_memory_entries: int = 4096
     directory: Optional[Union[str, Path]] = None
+    max_disk_bytes: Optional[int] = None
     stats: CacheStats = field(default_factory=CacheStats)
+
+    #: Cap-triggered prunes shrink the tier to this fraction of the cap so
+    #: consecutive writes near the bound don't each pay a directory scan.
+    _PRUNE_LOW_WATER = 0.9
 
     def __post_init__(self) -> None:
         if self.max_memory_entries < 1:
             raise ValueError("max_memory_entries must be at least 1")
+        if self.max_disk_bytes is not None and self.max_disk_bytes < 0:
+            raise ValueError("max_disk_bytes must be non-negative")
+        self._disk_usage: Optional[int] = None
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
         # Guards the LRU and the counters: the process-wide default engine is
         # shared, so concurrent callers (e.g. sweeps on a thread pool) must
@@ -135,9 +153,9 @@ class ResultCache:
             return _MISSING
         return data.get("value")
 
-    def _disk_write(self, key: str, value: Any) -> None:
+    def _disk_write(self, key: str, value: Any) -> int:
         if self.directory is None:
-            return
+            return 0
         path = self._entry_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"key": key, "value": value})
@@ -152,6 +170,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        return len(payload)
 
     def _iter_disk_paths(self) -> Iterator[Path]:
         if self.directory is None:
@@ -186,7 +205,72 @@ class ResultCache:
         with self._lock:
             self.stats.puts += 1
             self._memory_store(key, value)
-        self._disk_write(key, value)
+        written = self._disk_write(key, value)
+        if self.max_disk_bytes is not None and self.directory is not None:
+            # Track usage approximately (overwrites double-count, which only
+            # triggers an occasional extra scan) and do the exact, O(entries)
+            # prune scan only when the tier may actually be over the cap.
+            with self._lock:
+                if self._disk_usage is not None:
+                    self._disk_usage += written
+                usage = self._disk_usage
+            if usage is None:
+                scanned = self.disk_bytes()  # full walk, outside the lock
+                with self._lock:
+                    if self._disk_usage is None:
+                        self._disk_usage = scanned
+                    usage = self._disk_usage
+            if usage > self.max_disk_bytes:
+                # Prune to a low-water mark, not the cap itself: landing a
+                # hair under the cap would re-trigger the O(entries) scan on
+                # every subsequent write.
+                self.prune(int(self.max_disk_bytes * self._PRUNE_LOW_WATER))
+
+    def prune(self, max_bytes: Optional[int] = None) -> Dict[str, int]:
+        """Shrink the disk tier to ``max_bytes``, oldest entries first.
+
+        ``max_bytes`` defaults to the configured :attr:`max_disk_bytes`
+        cap; entries are removed in modification-time order (ties broken by
+        path for determinism) until the remaining total fits.  Returns
+        ``{"removed_entries", "removed_bytes", "remaining_bytes"}``.  A
+        no-op without a disk tier or when neither bound is given.
+        """
+        if max_bytes is None:
+            max_bytes = self.max_disk_bytes
+        if self.directory is None or max_bytes is None:
+            return {"removed_entries": 0, "removed_bytes": 0,
+                    "remaining_bytes": self.disk_bytes()}
+        entries = []
+        total = 0
+        for path in self._iter_disk_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, str(path), stat.st_size, path))
+            total += stat.st_size
+        entries.sort(key=lambda item: (item[0], item[1]))
+        removed_entries = 0
+        removed_bytes = 0
+        for _mtime, _name, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed_entries += 1
+            removed_bytes += size
+        with self._lock:
+            if removed_entries:
+                self.stats.disk_evictions += removed_entries
+            self._disk_usage = total
+        return {
+            "removed_entries": removed_entries,
+            "removed_bytes": removed_bytes,
+            "remaining_bytes": total,
+        }
 
     def _memory_store(self, key: str, value: Any) -> None:
         self._memory[key] = value
@@ -201,6 +285,8 @@ class ResultCache:
             existed = self._memory.pop(key, _MISSING) is not _MISSING
         if self.directory is not None:
             path = self._entry_path(key)
+            with self._lock:
+                self._disk_usage = None  # recomputed lazily on next capped put
             try:
                 path.unlink()
                 existed = True
@@ -216,6 +302,8 @@ class ResultCache:
         with self._lock:
             self._memory.clear()
         if disk:
+            with self._lock:
+                self._disk_usage = None
             for path in list(self._iter_disk_paths()):
                 try:
                     path.unlink()

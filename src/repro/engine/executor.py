@@ -5,12 +5,14 @@ solves.  Callers hand it a batch of independent work units — the per-agent
 local LPs of the Section 5 averaging algorithm, or whole-instance exact
 solves from the analysis sweeps — and it
 
-1. **fingerprints** each unit (:mod:`repro.engine.fingerprint`) and
-   de-duplicates identical units within the batch (on small-diameter
-   instances many agents share the same radius-``R`` view, so their local
-   LPs are literally the same problem);
+1. **canonicalises and fingerprints** each unit: local LPs are first
+   reduced to their canonical form (:mod:`repro.canon`) so that
+   *isomorphic* subproblems — equal after forgetting vertex names — share
+   one fingerprint, then de-duplicated within the batch (whole-instance
+   exact solves are fingerprinted literally);
 2. **consults the cache** (:mod:`repro.engine.cache`) and only keeps the
-   units whose fingerprints have never been solved;
+   units whose fingerprints have never been solved — for canonical local
+   LPs the disk tier is therefore shared across isomorphic instances;
 3. **fans the remainder** across a ``concurrent.futures`` thread or process
    pool (``mode="thread"`` / ``"process"``), falling back to in-process
    serial execution when ``mode="serial"``, when the batch is trivial, or
@@ -20,7 +22,12 @@ solves from the analysis sweeps — and it
 
 Execution mode never changes the numbers: results are produced by the same
 backend on the same canonical subproblems, so serial, pooled and cache-warm
-runs return bit-identical objectives (the test suite asserts this).
+runs return bit-identical objectives (the test suite asserts this).  The
+one knob that *does* select among equally optimal vertices is
+``canonical_local``: the default canonical path and the legacy raw path
+hand the solver differently ordered (isomorphic) matrices, so their
+solution vectors may differ on degenerate local LPs while the optimal
+values agree.
 
 A process-wide default engine (serial, in-memory cache) is available via
 :func:`get_default_engine`; the algorithm entry points use it when no
@@ -35,6 +42,7 @@ import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -52,8 +60,11 @@ from ..io import solution_from_dict, solution_to_dict
 from ..lp.backends import DEFAULT_BACKEND
 from ..lp.maxmin import MaxMinSolveResult, solve_max_min
 from .cache import ResultCache
-from .fingerprint import fingerprint_request
+from .fingerprint import fingerprint_canonical_request, fingerprint_request
 from .jobs import JobRecord, RunRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a cycle
+    from ..canon.labeling import CanonicalForm
 
 __all__ = [
     "EXECUTION_MODES",
@@ -175,6 +186,7 @@ class BatchSolver:
         max_workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         registry: Optional[RunRegistry] = None,
+        canonical_local: bool = True,
     ) -> None:
         if mode not in EXECUTION_MODES:
             raise ValueError(
@@ -186,7 +198,17 @@ class BatchSolver:
         self.max_workers = max_workers
         self.cache = cache
         self.registry = registry
+        self.canonical_local = canonical_local
         self.stats = EngineStats()
+        self._canon_index = None  # lazily built repro.canon CanonicalIndex
+
+    def canon_index(self):
+        """The engine's :class:`~repro.canon.labeling.CanonicalIndex` (lazy)."""
+        if self._canon_index is None:
+            from ..canon.labeling import CanonicalIndex
+
+            self._canon_index = CanonicalIndex()
+        return self._canon_index
 
     # ------------------------------------------------------------------
     # Generic fan-out
@@ -224,19 +246,22 @@ class BatchSolver:
     # ------------------------------------------------------------------
     def _run_requests(
         self,
-        problems: Sequence[MaxMinLP],
+        keys: Sequence[str],
+        builders: Sequence[Callable[[], MaxMinLP]],
         *,
         kind: str,
         backend: str,
         worker: Callable[[Tuple[MaxMinLP, str]], Tuple[Dict[str, Any], float]],
     ) -> List[Dict[str, Any]]:
-        """Dedup → cache → fan out; returns payloads in submission order."""
+        """Dedup → cache → fan out; returns payloads in submission order.
+
+        ``builders`` produce the problems to solve; they are only invoked
+        for cache misses, so a batch answered entirely from the cache never
+        compiles a single instance (this matters for the canonical path,
+        where building a unit means assembling a fresh ``MaxMinLP``).
+        """
         self.stats.batches += 1
-        self.stats.units += len(problems)
-        keys = [
-            fingerprint_request(problem, kind, backend=backend)
-            for problem in problems
-        ]
+        self.stats.units += len(keys)
         first_index: Dict[str, int] = {}
         for idx, key in enumerate(keys):
             first_index.setdefault(key, idx)
@@ -252,7 +277,7 @@ class BatchSolver:
                     record = self.registry.new_job(kind, key)
                     self.registry.finish_job(record, cached=True)
             else:
-                pending.append((key, problems[idx]))
+                pending.append((key, builders[idx]()))
 
         if pending:
             records: List[Optional[JobRecord]] = [
@@ -287,11 +312,76 @@ class BatchSolver:
     ) -> List[LocalLPOutcome]:
         """Solve a batch of local LPs (paper eq. 9), one per subproblem.
 
+        With ``canonical_local`` (the default) every subproblem is first
+        canonicalised (:mod:`repro.canon`): the solver sees the canonical
+        LP, the cache is keyed by the canonical content key — shared across
+        isomorphic views and isomorphic *instances* — and the solved vector
+        is pulled back into the subproblem's own agent names.  Isomorphic
+        subproblems therefore collapse to one solve even when their
+        identifiers differ, and the numbers are identical whichever member
+        of the class triggered the solve.
+
         Subproblems with no complete beneficiary support get the all-zero
         solution with objective ``inf``, matching the vacuous local LP.
         """
+        problems = list(subproblems)
+        if self.canonical_local:
+            index = self.canon_index()
+            forms = [index.canonical_form_of_problem(sub) for sub in problems]
+            canonical = self.solve_canonical_local_lps(forms, backend=backend)
+            return [
+                LocalLPOutcome(
+                    x=form.pull_back(outcome.x), objective=outcome.objective
+                )
+                for form, outcome in zip(forms, canonical)
+            ]
+        keys = [
+            fingerprint_request(problem, "local_lp", backend=backend)
+            for problem in problems
+        ]
         payloads = self._run_requests(
-            list(subproblems), kind="local_lp", backend=backend, worker=_solve_local_unit
+            keys,
+            [lambda problem=problem: problem for problem in problems],
+            kind="local_lp",
+            backend=backend,
+            worker=_solve_local_unit,
+        )
+        return [
+            LocalLPOutcome(
+                x=solution_from_dict(payload["x"]),
+                objective=float(payload["objective"]),
+            )
+            for payload in payloads
+        ]
+
+    def solve_canonical_local_lps(
+        self,
+        forms: Sequence["CanonicalForm"],
+        *,
+        backend: str = DEFAULT_BACKEND,
+    ) -> List[LocalLPOutcome]:
+        """Solve canonical local LPs, returning canonical-coordinate outcomes.
+
+        One request per :class:`~repro.canon.labeling.CanonicalForm`; the
+        request fingerprint is derived from the form's content key
+        (:func:`repro.engine.fingerprint.fingerprint_canonical_request`),
+        so identical forms — wherever they came from — share one cache
+        entry, and the stored solution is the canonical LP's vector keyed
+        by canonical agent positions.  Callers map it back through
+        :meth:`~repro.canon.labeling.CanonicalForm.pull_back`; the orbit
+        planner (:func:`repro.canon.orbit_solve_local_lps`) calls this
+        directly with one form per view orbit.
+        """
+        keys = [
+            fingerprint_canonical_request(form.key, backend=backend)
+            for form in forms
+        ]
+        payloads = self._run_requests(
+            keys,
+            [form.problem for form in forms],
+            kind="local_lp_canon",
+            backend=backend,
+            worker=_solve_local_unit,
         )
         return [
             LocalLPOutcome(
@@ -332,8 +422,17 @@ class BatchSolver:
         backend: str = DEFAULT_BACKEND,
     ) -> List[MaxMinSolveResult]:
         """Exactly solve a batch of whole instances (sweep-style jobs)."""
+        problems = list(problems)
+        keys = [
+            fingerprint_request(problem, "maxmin_exact", backend=backend)
+            for problem in problems
+        ]
         payloads = self._run_requests(
-            list(problems), kind="maxmin_exact", backend=backend, worker=_solve_maxmin_unit
+            keys,
+            [lambda problem=problem: problem for problem in problems],
+            kind="maxmin_exact",
+            backend=backend,
+            worker=_solve_maxmin_unit,
         )
         return [
             MaxMinSolveResult(

@@ -34,6 +34,7 @@ from ..io import instance_to_dict
 __all__ = [
     "FINGERPRINT_VERSION",
     "canonical_json",
+    "fingerprint_canonical_request",
     "fingerprint_data",
     "fingerprint_instance",
     "fingerprint_request",
@@ -110,3 +111,36 @@ def fingerprint_request(
         "params": dict(params) if params else {},
     }
     return fingerprint_data(payload)
+
+
+def fingerprint_canonical_request(
+    canonical_key: str,
+    *,
+    backend: str,
+    params: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """Fingerprint of a *canonical* local-LP solve request.
+
+    Instead of hashing a particular compiled sub-instance, the request is
+    keyed by the :class:`~repro.canon.labeling.CanonicalForm` content key of
+    the view's local LP, which is shared by every isomorphic view — of the
+    same instance, of a differently labelled copy, or of a completely
+    different instance whose local structure happens to coincide (a small
+    torus warms the disk cache for the interior of a much larger one).  The
+    cached payload is the solution of the canonical LP in canonical
+    coordinates; callers pull it back through their own view's canonical
+    position map.
+
+    The canonical key already embeds
+    :data:`repro.canon.labeling.CANON_FORMAT_VERSION`, and the distinct
+    ``local_lp_canon`` algorithm tag keeps these requests disjoint from the
+    raw per-instance ``local_lp`` requests of the non-canonical engine
+    path, so neither encoding can alias the other across versions.
+    """
+    return fingerprint_request(
+        None,
+        "local_lp_canon",
+        backend=backend,
+        params=params,
+        instance_fingerprint=canonical_key,
+    )

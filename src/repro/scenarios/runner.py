@@ -236,6 +236,11 @@ class SuiteRunner:
         not supplied; ``cache`` defaults to a purely in-memory
         :class:`~repro.engine.ResultCache` (pass one with a ``directory``
         for warm re-runs across processes).
+    share_orbits:
+        Run every local-averaging solve through the orbit fast path
+        (:mod:`repro.canon`): one local LP per view-equivalence class
+        instead of one per agent.  Results are bit-identical either way;
+        symmetric scenario families just finish sooner.
     """
 
     def __init__(
@@ -246,6 +251,7 @@ class SuiteRunner:
         max_workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         registry: Optional[RunRegistry] = None,
+        share_orbits: bool = False,
     ) -> None:
         if engine is None:
             engine = BatchSolver(
@@ -255,6 +261,7 @@ class SuiteRunner:
                 registry=registry,
             )
         self.engine = engine
+        self.share_orbits = share_orbits
 
     # ------------------------------------------------------------------
     # Expansion helpers
@@ -311,6 +318,7 @@ class SuiteRunner:
                     backend=spec.backend,
                     hypergraph=hypergraph,
                     engine=self.engine,
+                    share_orbits=self.share_orbits,
                 )
                 radius_results.append(
                     RadiusResult(

@@ -118,5 +118,86 @@ class TestDiskTier:
             "misses",
             "puts",
             "evictions",
+            "disk_evictions",
             "invalidations",
         }
+
+
+class TestDiskEviction:
+    """The disk tier's max-bytes cap and the explicit prune policy."""
+
+    @staticmethod
+    def _age_entries(cache, tmp_path, keys):
+        """Give entries strictly increasing mtimes (filesystem-tick safe)."""
+        import os
+
+        for offset, key in enumerate(keys):
+            path = tmp_path / key[:2] / f"{key}.json"
+            os.utime(path, (1_000_000 + offset, 1_000_000 + offset))
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ValueError, match="max_disk_bytes"):
+            ResultCache(max_disk_bytes=-1)
+
+    def test_cap_evicts_oldest_entries_first(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        keys = ["a" * 64, "b" * 64, "c" * 64]
+        for key in keys:
+            cache.put(key, {"payload": key})
+        self._age_entries(cache, tmp_path, keys)
+        entry_bytes = cache.disk_bytes() // 3
+
+        capped = ResultCache(directory=tmp_path, max_disk_bytes=2 * entry_bytes + 2)
+        capped.put("d" * 64, {"payload": "d" * 64})
+        # The two oldest entries fall out; the newest survive.
+        remaining = {path.stem for path in tmp_path.glob("??/*.json")}
+        assert "a" * 64 not in remaining
+        assert "d" * 64 in remaining
+        assert capped.disk_bytes() <= 2 * entry_bytes + 2
+        assert capped.stats.disk_evictions >= 2
+
+    def test_prune_method_reports_and_updates_stats(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        keys = ["a" * 64, "b" * 64, "c" * 64]
+        for key in keys:
+            cache.put(key, {"payload": key})
+        self._age_entries(cache, tmp_path, keys)
+        total = cache.disk_bytes()
+        outcome = cache.prune(total // 3)
+        assert outcome["removed_entries"] == 2
+        assert outcome["removed_bytes"] > 0
+        assert outcome["remaining_bytes"] <= total // 3
+        assert cache.stats.disk_evictions == 2
+        assert cache.disk_entries() == 1
+
+    def test_prune_to_zero_empties_the_tier(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put(KEY, 1)
+        cache.put(OTHER, 2)
+        outcome = cache.prune(0)
+        assert outcome["removed_entries"] == 2
+        assert cache.disk_entries() == 0
+
+    def test_prune_without_disk_tier_is_a_noop(self):
+        cache = ResultCache()
+        assert cache.prune(0) == {
+            "removed_entries": 0,
+            "removed_bytes": 0,
+            "remaining_bytes": 0,
+        }
+
+    def test_prune_without_bound_is_a_noop(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put(KEY, 1)
+        outcome = cache.prune()
+        assert outcome["removed_entries"] == 0
+        assert cache.disk_entries() == 1
+
+    def test_evicted_entries_are_cache_misses_not_errors(self, tmp_path):
+        cache = ResultCache(
+            directory=tmp_path, max_disk_bytes=60, max_memory_entries=1
+        )
+        cache.put(KEY, {"v": 1})
+        cache.put(OTHER, {"v": 2})  # evicts KEY from both tiers
+        assert cache.get(KEY) is None
+        assert cache.get(OTHER) == {"v": 2}

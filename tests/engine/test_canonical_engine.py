@@ -1,0 +1,112 @@
+"""Tests for the engine's canonical local-LP path (dedup across isomorphs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    BatchSolver,
+    ResultCache,
+    grid_instance,
+    local_averaging_solution,
+)
+from repro.engine.fingerprint import (
+    fingerprint_canonical_request,
+    fingerprint_request,
+)
+from repro.hypergraph.communication import communication_hypergraph
+
+
+class TestCanonicalFingerprints:
+    def test_canonical_request_depends_on_key_and_backend(self):
+        base = fingerprint_canonical_request("a" * 64, backend="scipy")
+        assert len(base) == 64
+        assert fingerprint_canonical_request("b" * 64, backend="scipy") != base
+        assert fingerprint_canonical_request("a" * 64, backend="simplex") != base
+
+    def test_disjoint_from_raw_local_lp_requests(self, tiny_instance):
+        from repro import fingerprint_instance
+
+        raw_key = fingerprint_instance(tiny_instance)
+        raw = fingerprint_request(
+            None, "local_lp", backend="scipy", instance_fingerprint=raw_key
+        )
+        canonical = fingerprint_canonical_request(raw_key, backend="scipy")
+        assert raw != canonical
+
+
+class TestCanonicalLocalSolves:
+    def test_isomorphic_subproblems_collapse_to_one_solve(self):
+        # Distinct agents of a torus have literally different subproblems
+        # (different identifiers) but isomorphic structure: the canonical
+        # engine path solves exactly one of them.
+        problem = grid_instance((5, 5), torus=True)
+        H = communication_hypergraph(problem)
+        subs = [problem.local_subproblem(H.ball(u, 1)) for u in problem.agents]
+        engine = BatchSolver(cache=ResultCache())
+        outcomes = engine.solve_subproblems(subs)
+        assert engine.stats.executed == 1
+        assert len(outcomes) == len(subs)
+        objectives = {outcome.objective for outcome in outcomes}
+        assert len(objectives) == 1
+
+    def test_non_canonical_engine_reproduces_legacy_behaviour(self):
+        problem = grid_instance((4, 4), torus=True)
+        H = communication_hypergraph(problem)
+        subs = [problem.local_subproblem(H.ball(u, 1)) for u in problem.agents]
+        legacy = BatchSolver(canonical_local=False)
+        outcomes = legacy.solve_subproblems(subs)
+        # No canonicalisation: every distinct-identifier subproblem solves.
+        assert legacy.stats.executed == len(subs)
+        canonical = BatchSolver().solve_subproblems(subs)
+        for legacy_out, canon_out in zip(outcomes, canonical):
+            assert legacy_out.objective == pytest.approx(
+                canon_out.objective, abs=1e-9
+            )
+
+    def test_pull_back_keys_match_subproblem_agents(self, grid4x4):
+        H = communication_hypergraph(grid4x4)
+        view = H.ball(grid4x4.agents[0], 1)
+        sub = grid4x4.local_subproblem(view)
+        (outcome,) = BatchSolver().solve_subproblems([sub])
+        assert set(outcome.x) == set(sub.agents)
+        assert sub.is_feasible(sub.to_array(outcome.x), tol=1e-7)
+
+    def test_warm_cache_bit_identical_with_canonical_keys(self, tmp_path):
+        problem = grid_instance((5, 5), torus=True)
+        cold_engine = BatchSolver(cache=ResultCache(directory=tmp_path))
+        cold = local_averaging_solution(problem, 1, engine=cold_engine)
+        warm_engine = BatchSolver(cache=ResultCache(directory=tmp_path))
+        warm = local_averaging_solution(problem, 1, engine=warm_engine)
+        assert warm_engine.stats.executed == 0
+        assert warm.x == cold.x
+        assert warm.local_objectives == cold.local_objectives
+
+    def test_disk_cache_hits_across_isomorphic_instances(self, tmp_path):
+        """A small torus warms the cache for a larger torus — the tentpole's
+        cross-instance cache-sharing acceptance scenario.  (The smaller
+        torus must be at least 7 wide: an R=1 local LP reaches L1-distance
+        3, which would wrap on anything narrower and change the view's
+        isomorphism class.)"""
+        small = grid_instance((7, 7), torus=True)
+        engine_small = BatchSolver(cache=ResultCache(directory=tmp_path))
+        local_averaging_solution(small, 1, engine=engine_small)
+        assert engine_small.stats.executed >= 1
+
+        large = grid_instance((10, 10), torus=True)
+        engine_large = BatchSolver(cache=ResultCache(directory=tmp_path))
+        local_averaging_solution(large, 1, engine=engine_large)
+        # Every local LP of the larger torus is isomorphic to the smaller
+        # torus's view: zero new solves, all answered from the disk tier.
+        assert engine_large.stats.executed == 0
+        assert engine_large.cache.stats.disk_hits >= 1
+
+    def test_share_orbits_and_engine_path_share_cache_entries(self):
+        problem = grid_instance((5, 5), torus=True)
+        cache = ResultCache()
+        engine = BatchSolver(cache=cache)
+        local_averaging_solution(problem, 1, engine=engine, share_orbits=True)
+        executed_after_orbit_run = engine.stats.executed
+        local_averaging_solution(problem, 1, engine=engine, share_orbits=False)
+        # The per-agent path found every canonical LP already cached.
+        assert engine.stats.executed == executed_after_orbit_run

@@ -1,0 +1,92 @@
+"""Property tests: canonical view keys are relabeling-invariant and
+coefficient-sensitive (the two defining contracts of repro.canon)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MaxMinLP, canonical_view_key, communication_hypergraph
+from repro.canon.labeling import canonicalize_local_lp, view_local_structure
+
+from .strategies import max_min_instances
+
+
+def relabel(problem: MaxMinLP, permutation):
+    """Rename every identifier of ``problem`` along a permuted agent order."""
+    agents = list(problem.agents)
+    shuffled = [agents[i] for i in permutation]
+    rename = {a: f"renamed-{idx}" for idx, a in enumerate(shuffled)}
+    consumption = {
+        ((("r",) + ((i,) if not isinstance(i, tuple) else i)), rename[v]): value
+        for (i, v), value in problem.consumption_items()
+    }
+    benefit = {
+        ((("b",) + ((k,) if not isinstance(k, tuple) else k)), rename[v]): value
+        for (k, v), value in problem.benefit_items()
+    }
+    copy = MaxMinLP([rename[a] for a in agents], consumption, benefit)
+    return copy, rename
+
+
+@st.composite
+def instance_and_permutation(draw, **kwargs):
+    problem = draw(max_min_instances(**kwargs))
+    permutation = draw(st.permutations(range(problem.n_agents)))
+    return problem, list(permutation)
+
+
+class TestRelabelingInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(instance_and_permutation())
+    def test_view_keys_invariant_under_relabeling(self, data):
+        problem, permutation = data
+        copy, rename = relabel(problem, permutation)
+        H = communication_hypergraph(problem)
+        H2 = communication_hypergraph(copy)
+        for u in problem.agents:
+            assert canonical_view_key(problem, u, 1, hypergraph=H) == (
+                canonical_view_key(copy, rename[u], 1, hypergraph=H2)
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(instance_and_permutation(max_agents=6, max_resources=6))
+    def test_whole_instance_form_invariant(self, data):
+        problem, permutation = data
+        copy, _rename = relabel(problem, permutation)
+        original = canonicalize_local_lp(
+            *view_local_structure(problem, frozenset(problem.agents))
+        )
+        relabelled = canonicalize_local_lp(
+            *view_local_structure(copy, frozenset(copy.agents))
+        )
+        assert original.key == relabelled.key
+        assert original.consumption == relabelled.consumption
+        assert original.benefit == relabelled.benefit
+
+
+class TestCoefficientSensitivity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        max_min_instances(unit_weights=True),
+        st.floats(min_value=1.5, max_value=4.0, allow_nan=False),
+    )
+    def test_perturbing_a_weight_changes_the_key(self, problem, factor):
+        agents, cons, bens = view_local_structure(
+            problem, frozenset(problem.agents)
+        )
+        base = canonicalize_local_lp(agents, cons, bens)
+        perturbed_cons = list(cons)
+        resource, agent, value = perturbed_cons[0]
+        perturbed_cons[0] = (resource, agent, value * factor)
+        perturbed = canonicalize_local_lp(agents, perturbed_cons, bens)
+        assert base.key != perturbed.key
+
+    @settings(max_examples=20, deadline=None)
+    @given(max_min_instances())
+    def test_key_is_deterministic(self, problem):
+        structure = view_local_structure(problem, frozenset(problem.agents))
+        assert (
+            canonicalize_local_lp(*structure).key
+            == canonicalize_local_lp(*structure).key
+        )

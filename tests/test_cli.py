@@ -206,7 +206,115 @@ class TestSuiteCommand:
         assert executed == 0
 
 
+class TestCanonCommand:
+    def test_canon_stats_reports_orbits(self, capsys):
+        assert main(["canon", "stats", "--family", "grid", "--radii", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "CANON: radius-R view orbits" in out
+        assert "sharing" in out
+        # The 6x6 torus is vertex-transitive: one orbit for all 36 agents.
+        torus_row = [line for line in out.splitlines() if "torus 6x6" in line][0]
+        cells = [cell.strip() for cell in torus_row.split("|")]
+        assert cells[2:4] == ["36", "1"]  # agents=36, orbits=1
+
+    def test_canon_stats_rejects_bad_radii(self):
+        with pytest.raises(SystemExit):
+            main(["canon", "stats", "--radii", "0"])
+        with pytest.raises(SystemExit):
+            main(["canon", "stats", "--radii", "nope"])
+
+    def test_canon_requires_subcommand(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["canon"])
+        assert excinfo.value.code != 0
+
+
+class TestSuiteShareOrbits:
+    def _suite_file(self, tmp_path):
+        from repro.scenarios import ScenarioGrid, SuiteSpec
+
+        suite_file = tmp_path / "suite.json"
+        suite_file.write_text(
+            SuiteSpec(
+                name="orbit-smoke",
+                grids=(
+                    ScenarioGrid(
+                        "torus", params={"shape": [(4, 4)]}, radii=(1,)
+                    ),
+                ),
+            ).to_json()
+        )
+        return suite_file
+
+    def test_share_orbits_matches_default_run(self, capsys, tmp_path):
+        suite_file = self._suite_file(tmp_path)
+        base_args = ["suite", "run", str(suite_file), "--no-cache-dir"]
+        assert main(base_args) == 0
+        plain_out = capsys.readouterr().out
+        assert main(base_args + ["--share-orbits"]) == 0
+        orbit_out = capsys.readouterr().out
+        table = lambda text: [
+            line for line in text.splitlines() if line.startswith(" torus")
+        ]
+        assert table(plain_out) == table(orbit_out)
+
+    def test_mode_and_max_workers_are_plumbed(self, capsys, tmp_path):
+        suite_file = self._suite_file(tmp_path)
+        assert (
+            main(
+                [
+                    "suite",
+                    "run",
+                    str(suite_file),
+                    "--no-cache-dir",
+                    "--mode",
+                    "thread",
+                    "--max-workers",
+                    "2",
+                    "--share-orbits",
+                ]
+            )
+            == 0
+        )
+        assert "SUITE orbit-smoke" in capsys.readouterr().out
+
+    def test_workers_alias_still_accepted(self, capsys, tmp_path):
+        suite_file = self._suite_file(tmp_path)
+        assert (
+            main(
+                ["suite", "run", str(suite_file), "--no-cache-dir",
+                 "--mode", "thread", "--workers", "2"]
+            )
+            == 0
+        )
+        assert "SUITE orbit-smoke" in capsys.readouterr().out
+
+
 class TestCacheCommand:
+    def test_cache_prune_drops_oldest_entries(self, capsys, tmp_path):
+        import os
+
+        main(["batch", "--family", "cycle", "--radii", "1",
+              "--cache-dir", str(tmp_path)])
+        capsys.readouterr()
+        entries = sorted(tmp_path.glob("??/*.json"))
+        assert entries
+        for offset, path in enumerate(entries):
+            os.utime(path, (1_000_000 + offset, 1_000_000 + offset))
+        total = sum(path.stat().st_size for path in entries)
+        keep = entries[-1].stat().st_size
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path),
+                     "--max-bytes", str(keep)]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        remaining = list(tmp_path.glob("??/*.json"))
+        assert 0 < len(remaining) < len(entries)
+        assert sum(path.stat().st_size for path in remaining) <= max(keep, total // len(entries))
+
+    def test_cache_prune_requires_max_bytes(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "prune", "--cache-dir", str(tmp_path)])
+
     def test_cache_stats_and_clear(self, capsys, tmp_path):
         main(["batch", "--family", "cycle", "--radii", "1", "--cache-dir", str(tmp_path)])
         capsys.readouterr()
