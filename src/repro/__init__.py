@@ -98,6 +98,10 @@ from .canon import (
     partition_views,
 )
 
+# The vectorized view-extraction pipeline: batch balls, the view atlas and
+# batch canonicalisation backing the averaging fast path.
+from .views import ViewAtlas, ball_membership, batch_balls
+
 # The scenarios layer sits on top of everything above; imported last so the
 # registry can use the generators, apps and engine freely.
 from .scenarios import (
@@ -148,6 +152,10 @@ __all__ = [
     "canonical_view_key",
     "canonicalize_problem",
     "partition_views",
+    # views
+    "ViewAtlas",
+    "ball_membership",
+    "batch_balls",
     # io
     "instance_to_dict",
     "instance_from_dict",

@@ -38,7 +38,7 @@ from .labeling import (
     view_local_structure,
 )
 from .orbits import OrbitPartition, ViewOrbit, partition_views
-from .planner import OrbitSolveStats, orbit_solve_local_lps
+from .planner import OrbitSolveStats, orbit_solve_local_lps, orbit_solve_views
 
 __all__ = [
     "CANON_FORMAT_VERSION",
@@ -51,6 +51,7 @@ __all__ = [
     "canonicalize_local_lp",
     "canonicalize_problem",
     "orbit_solve_local_lps",
+    "orbit_solve_views",
     "partition_views",
     "view_local_structure",
 ]

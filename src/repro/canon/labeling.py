@@ -50,6 +50,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.ordering import identifier_sort_key as _sort_key
 from ..core.problem import Agent, Beneficiary, MaxMinLP, Resource
 
 __all__ = [
@@ -151,9 +152,6 @@ class CanonicalForm:
         }
 
 
-def _sort_key(identifier) -> Tuple[str, str]:
-    """Deterministic order on mixed identifier types (type name, then repr)."""
-    return (type(identifier).__name__, repr(identifier))
 
 
 class _UnionFind:
@@ -193,39 +191,97 @@ class _Canonicalizer:
     ) -> None:
         # cons rows are (resource_index, agent_index, value) in *internal*
         # (identifier-sorted) indices; bens likewise for beneficiaries.
-        self.n_agents = len(agents)
-        self.n_resources = len(resources)
-        self.n_beneficiaries = len(beneficiaries)
-        self.n_nodes = self.n_agents + self.n_resources + self.n_beneficiaries
-        self.budget = branch_budget
-
         weights = sorted({value for _r, _a, value in cons}
                          | {value for _k, _a, value in bens})
-        self.weight_table = np.asarray(weights, dtype=np.float64)
         wid = {value: idx for idx, value in enumerate(weights)}
-        self.n_weights = max(len(weights), 1)
+        self._setup(
+            len(agents),
+            len(resources),
+            len(beneficiaries),
+            np.asarray([r for r, _a, _v in cons], dtype=np.int64),
+            np.asarray([a for _r, a, _v in cons], dtype=np.int64),
+            np.asarray([wid[v] for _r, _a, v in cons], dtype=np.int64),
+            np.asarray([k for k, _a, _v in bens], dtype=np.int64),
+            np.asarray([a for _k, a, _v in bens], dtype=np.int64),
+            np.asarray([wid[v] for _k, _a, v in bens], dtype=np.int64),
+            np.asarray(weights, dtype=np.float64),
+            branch_budget,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        n_agents: int,
+        n_resources: int,
+        n_beneficiaries: int,
+        cons_res: np.ndarray,
+        cons_agent: np.ndarray,
+        cons_wid: np.ndarray,
+        ben_row: np.ndarray,
+        ben_agent: np.ndarray,
+        ben_wid: np.ndarray,
+        weight_table: np.ndarray,
+        branch_budget: int,
+    ) -> "_Canonicalizer":
+        """Build directly from pre-sorted internal-index arrays.
+
+        The arrays must mirror what :meth:`__init__` derives from triple
+        lists: coefficient entries sorted by ``(row, agent)``, weight ids
+        ranking into the sorted unique ``weight_table``.  The batch pipeline
+        (:mod:`repro.views`) produces exactly this layout for every view at
+        once, so group representatives skip the per-view Python loops.
+        """
+        self = cls.__new__(cls)
+        self._setup(
+            n_agents,
+            n_resources,
+            n_beneficiaries,
+            np.ascontiguousarray(cons_res, dtype=np.int64),
+            np.ascontiguousarray(cons_agent, dtype=np.int64),
+            np.ascontiguousarray(cons_wid, dtype=np.int64),
+            np.ascontiguousarray(ben_row, dtype=np.int64),
+            np.ascontiguousarray(ben_agent, dtype=np.int64),
+            np.ascontiguousarray(ben_wid, dtype=np.int64),
+            np.ascontiguousarray(weight_table, dtype=np.float64),
+            branch_budget,
+        )
+        return self
+
+    def _setup(
+        self,
+        n_agents: int,
+        n_resources: int,
+        n_beneficiaries: int,
+        cons_res: np.ndarray,
+        cons_agent: np.ndarray,
+        cons_wid: np.ndarray,
+        ben_row: np.ndarray,
+        ben_agent: np.ndarray,
+        ben_wid: np.ndarray,
+        weight_table: np.ndarray,
+        branch_budget: int,
+    ) -> None:
+        self.n_agents = n_agents
+        self.n_resources = n_resources
+        self.n_beneficiaries = n_beneficiaries
+        self.n_nodes = n_agents + n_resources + n_beneficiaries
+        self.budget = branch_budget
+        self.weight_table = weight_table
+        self.n_weights = max(weight_table.size, 1)
+
+        self.edge_res = cons_res
+        self.edge_res_agent = cons_agent
+        self.edge_res_wid = cons_wid
+        self.edge_ben = ben_row
+        self.edge_ben_agent = ben_agent
+        self.edge_ben_wid = ben_wid
 
         # Undirected incidence edges, stored once per endpoint direction.
-        n_edges = len(cons) + len(bens)
-        ends_a = np.empty(n_edges, dtype=np.int64)
-        ends_b = np.empty(n_edges, dtype=np.int64)
-        wids = np.empty(n_edges, dtype=np.int64)
-        for idx, (r, a, value) in enumerate(cons):
-            ends_a[idx] = a
-            ends_b[idx] = self.n_agents + r
-            wids[idx] = wid[value]
-        offset = len(cons)
-        for idx, (k, a, value) in enumerate(bens):
-            ends_a[offset + idx] = a
-            ends_b[offset + idx] = self.n_agents + self.n_resources + k
-            wids[offset + idx] = wid[value]
-        self.edge_res = np.asarray([r for r, _a, _v in cons], dtype=np.int64)
-        self.edge_res_agent = np.asarray([a for _r, a, _v in cons], dtype=np.int64)
-        self.edge_res_wid = wids[: len(cons)].copy()
-        self.edge_ben = np.asarray([k for k, _a, _v in bens], dtype=np.int64)
-        self.edge_ben_agent = np.asarray([a for _k, a, _v in bens], dtype=np.int64)
-        self.edge_ben_wid = wids[len(cons):].copy()
-
+        ends_a = np.concatenate([cons_agent, ben_agent])
+        ends_b = np.concatenate(
+            [cons_res + n_agents, ben_row + n_agents + n_resources]
+        )
+        wids = np.concatenate([cons_wid, ben_wid])
         self.node = np.concatenate([ends_a, ends_b])
         self.nbr = np.concatenate([ends_b, ends_a])
         self.wid = np.concatenate([wids, wids])
@@ -591,7 +647,8 @@ class _RegisteredForm:
 
     form: CanonicalForm
     stable_by_position: List[int]  # stable refinement colour per position
-    positions_by_color: Dict[int, List[int]]
+    positions_by_color: List[Tuple[int, ...]]  # colour -> candidate positions
+    pool_size_by_color: np.ndarray  # colour -> len(positions_by_color[colour])
     edge_sets: List[frozenset]  # position -> {(nbr position, wid)}
     adj_by_wc: List[Dict[Tuple[int, int], Tuple[int, ...]]]
     n_edges: int
@@ -656,9 +713,93 @@ class CanonicalIndex:
         member's labeling; this is what keeps warm and cold engines, and
         the engine and the orbit planner, bit-for-bit interchangeable.
         """
+        form, _positions = self.canonical_form_and_positions(
+            agents, consumption, benefit
+        )
+        return form
+
+    def canonical_form_and_positions(
+        self,
+        agents: Iterable[Agent],
+        consumption: Iterable[Tuple[Resource, Agent, float]],
+        benefit: Iterable[Tuple[Beneficiary, Agent, float]],
+    ) -> Tuple[CanonicalForm, np.ndarray]:
+        """:meth:`canonical_form` plus the node -> canonical-position map.
+
+        ``positions[i]`` is the canonical position of the ``i``-th node in
+        identifier-sorted order (agents, then resources shifted by
+        ``n_agents``, then beneficiaries).  Any caller holding another
+        structure with *identical* sorted coefficient arrays may reuse the
+        positions verbatim via :meth:`templated_form` — that is exactly what
+        the structure memo does internally and what the batch pipeline in
+        :mod:`repro.views` does across the members of a literal-structure
+        group.  Positions of a non-``exact`` (literal fallback) form are the
+        fallback labeling and must not be shared across views.
+        """
         canonicalizer, agent_list, resource_list, beneficiary_list = (
             _build_canonicalizer(agents, consumption, benefit, self.branch_budget)
         )
+        return self._form_and_positions(
+            canonicalizer, agent_list, resource_list, beneficiary_list
+        )
+
+    def canonical_form_from_arrays(
+        self,
+        agent_list: Sequence[Agent],
+        resource_list: Sequence[Resource],
+        beneficiary_list: Sequence[Beneficiary],
+        cons_res: np.ndarray,
+        cons_agent: np.ndarray,
+        cons_wid: np.ndarray,
+        ben_row: np.ndarray,
+        ben_agent: np.ndarray,
+        ben_wid: np.ndarray,
+        weight_table: np.ndarray,
+        stable: Optional[np.ndarray] = None,
+    ) -> Tuple[CanonicalForm, np.ndarray]:
+        """Array fast path of :meth:`canonical_form_and_positions`.
+
+        The identifier lists must already be ``_sort_key``-sorted and the
+        coefficient arrays expressed in the corresponding internal indices,
+        sorted by ``(row, agent)`` with weight ids ranking into the sorted
+        unique ``weight_table`` — the layout the vectorized view-extraction
+        pipeline emits.  Equal inputs produce byte-identical state to the
+        triple-list path, so both entries share the memo and the registered
+        classes, and their outputs are interchangeable bit for bit.
+
+        ``stable`` may carry the view's stable refinement colouring when the
+        caller already computed it (the batch pipeline refines many views in
+        one shared sweep); it must equal what
+        :meth:`_Canonicalizer.refine` would return — the batch refinement
+        ranks signatures per view with the same comparisons, and the test
+        suite asserts the equality.
+        """
+        canonicalizer = _Canonicalizer.from_arrays(
+            len(agent_list),
+            len(resource_list),
+            len(beneficiary_list),
+            cons_res,
+            cons_agent,
+            cons_wid,
+            ben_row,
+            ben_agent,
+            ben_wid,
+            weight_table,
+            self.branch_budget,
+        )
+        return self._form_and_positions(
+            canonicalizer, agent_list, resource_list, beneficiary_list,
+            stable=stable,
+        )
+
+    def _form_and_positions(
+        self,
+        canonicalizer: _Canonicalizer,
+        agent_list: Sequence[Agent],
+        resource_list: Sequence[Resource],
+        beneficiary_list: Sequence[Beneficiary],
+        stable: Optional[np.ndarray] = None,
+    ) -> Tuple[CanonicalForm, np.ndarray]:
         memo_key = canonicalizer.structure_key()
         if len(self._structure_memo) > self.MAX_STRUCTURE_MEMO:
             self._structure_memo.clear()
@@ -666,19 +807,26 @@ class CanonicalIndex:
         if memoized is not None:
             positions, template = memoized
             self.stats["memoized"] += 1
-            return self._templated_form(
-                agent_list, resource_list, beneficiary_list, template, positions
+            return (
+                self.templated_form(
+                    agent_list, resource_list, beneficiary_list, template, positions
+                ),
+                positions,
             )
-        stable = canonicalizer.refine(canonicalizer.initial_colors())
+        if stable is None:
+            stable = canonicalizer.refine(canonicalizer.initial_colors())
         invariant = self._invariant_key(canonicalizer, stable)
         for registered in self._classes.get(invariant, ()):
             positions = self._match(canonicalizer, stable, registered)
             if positions is not None:
                 self.stats["matched"] += 1
                 self._structure_memo[memo_key] = (positions, registered.form)
-                return self._templated_form(
-                    agent_list, resource_list, beneficiary_list,
-                    registered.form, positions,
+                return (
+                    self.templated_form(
+                        agent_list, resource_list, beneficiary_list,
+                        registered.form, positions,
+                    ),
+                    positions,
                 )
         try:
             form_bytes, colors = canonicalizer.search_from(stable)
@@ -686,9 +834,12 @@ class CanonicalIndex:
             colors = canonicalizer.literal_colors()
             form_bytes = canonicalizer._form_bytes(colors)
             self.stats["literal"] += 1
-            return _assemble_form(
-                canonicalizer, agent_list, resource_list, beneficiary_list,
-                form_bytes, colors, False,
+            return (
+                _assemble_form(
+                    canonicalizer, agent_list, resource_list, beneficiary_list,
+                    form_bytes, colors, False,
+                ),
+                colors,
             )
         self.stats["searched"] += 1
         form = _assemble_form(
@@ -706,14 +857,17 @@ class CanonicalIndex:
         positions = self._match(canonicalizer, stable, registered)
         if positions is None:
             self._structure_memo[memo_key] = (colors, registered.form)
-            return form
+            return form, colors
         self._structure_memo[memo_key] = (positions, registered.form)
-        return self._templated_form(
-            agent_list, resource_list, beneficiary_list, registered.form, positions
+        return (
+            self.templated_form(
+                agent_list, resource_list, beneficiary_list, registered.form, positions
+            ),
+            positions,
         )
 
     @staticmethod
-    def _templated_form(
+    def templated_form(
         agent_list: Sequence[Agent],
         resource_list: Sequence[Resource],
         beneficiary_list: Sequence[Beneficiary],
@@ -779,9 +933,14 @@ class CanonicalIndex:
         stable_arr = np.empty(n, dtype=np.int64)
         stable_arr[positions] = stable
         stable_by_position = [int(c) for c in stable_arr]
-        positions_by_color: Dict[int, List[int]] = {}
+        n_colors = int(stable_arr.max()) + 1 if n else 0
+        grouped_positions: List[List[int]] = [[] for _ in range(n_colors)]
         for p in range(n):
-            positions_by_color.setdefault(stable_by_position[p], []).append(p)
+            grouped_positions[stable_by_position[p]].append(p)
+        positions_by_color = [tuple(ps) for ps in grouped_positions]
+        pool_size_by_color = np.asarray(
+            [len(ps) for ps in positions_by_color], dtype=np.int64
+        )
         adjacency: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
         for node, nbr, wid in zip(
             canonicalizer.node.tolist(),
@@ -799,6 +958,7 @@ class CanonicalIndex:
             form=form,
             stable_by_position=stable_by_position,
             positions_by_color=positions_by_color,
+            pool_size_by_color=pool_size_by_color,
             edge_sets=[frozenset(edges) for edges in adjacency],
             adj_by_wc=adj_by_wc,
             n_edges=int(canonicalizer.node.size),
@@ -826,31 +986,37 @@ class CanonicalIndex:
             return None
         if n == 0:
             return np.empty(0, dtype=np.int64)
+        # Candidate pools per node: positions of the node's stable colour.
+        # The invariant pre-check guarantees equal colour histograms, so
+        # member colours index the registered pools directly.
+        if stable.size and int(stable.max()) >= len(registered.positions_by_color):
+            return None
+        pool_sizes = registered.pool_size_by_color[stable]
+        if pool_sizes.size and int(pool_sizes.min()) == 0:
+            return None
+        stable_list = stable.tolist()
+        candidates: List[Tuple[int, ...]] = [
+            registered.positions_by_color[c] for c in stable_list
+        ]
         # Per-node adjacency as plain lists (arrays are grouped by node).
         starts = canonicalizer.starts.tolist()
-        nbr_list = canonicalizer.nbr.tolist()
-        wid_list = canonicalizer.wid.tolist()
-        stable_list = stable.tolist()
-        member_adj: List[List[Tuple[int, int]]] = []
-        candidates: List[List[int]] = []
-        for v in range(n):
-            pool = registered.positions_by_color.get(stable_list[v])
-            if not pool:
-                return None
-            candidates.append(pool)
-            lo, hi = starts[v], starts[v + 1]
-            member_adj.append(list(zip(nbr_list[lo:hi], wid_list[lo:hi])))
+        edges_flat = list(
+            zip(canonicalizer.nbr.tolist(), canonicalizer.wid.tolist())
+        )
+        member_adj: List[List[Tuple[int, int]]] = [
+            edges_flat[starts[v]: starts[v + 1]] for v in range(n)
+        ]
         # Connected (VF2-style) assignment order: after the seed, always
         # pick the unordered node with the most already-ordered neighbours
         # (ties: smallest candidate pool, colour, index) — its image is
         # maximally constrained, so wrong symmetric choices fail within a
         # step or two instead of exploding combinatorially.
-        shift = max(n, 2)
-        tiebreak = [
-            (len(candidates[v]) * shift + stable_list[v]) * shift + v
-            for v in range(n)
-        ]
-        fallback = sorted(range(n), key=tiebreak.__getitem__)
+        shift = np.int64(max(n, 2))
+        tiebreak_arr = (pool_sizes * shift + stable) * shift + np.arange(
+            n, dtype=np.int64
+        )
+        fallback = np.argsort(tiebreak_arr, kind="stable").tolist()
+        tiebreak = tiebreak_arr.tolist()
         order: List[int] = []
         placed_flags = [False] * n
         ordered_nbrs = [0] * n

@@ -100,6 +100,8 @@ def partition_views(
     views: Optional[Mapping[Agent, FrozenSet[Agent]]] = None,
     branch_budget: int = DEFAULT_BRANCH_BUDGET,
     index: Optional[CanonicalIndex] = None,
+    atlas=None,
+    vectorized: bool = True,
 ) -> OrbitPartition:
     """Partition the agents of ``problem`` into radius-``R`` view orbits.
 
@@ -125,23 +127,53 @@ def partition_views(
         across partitions (e.g. across the radii of a sweep); a fresh one
         is created otherwise.  Canonical forms are pure functions of the
         view structure, so sharing an index never changes the partition.
+    atlas:
+        Optional pre-built :class:`~repro.views.ViewAtlas` whose rows are
+        the views to partition; supplying it lets the averaging fast path
+        reuse its batch ball extraction and structure arrays.
+    vectorized:
+        Canonicalise all views through the batch pipeline of
+        :mod:`repro.views` (the default) instead of one
+        :meth:`~repro.canon.labeling.CanonicalIndex.canonical_form` call
+        per view.  Both paths produce identical forms — the scalar path is
+        kept for the equality tests and the performance-comparison
+        benchmarks.
     """
     if R < 1:
         raise ValueError("view orbits require a radius R >= 1")
-    if views is None:
-        H = hypergraph if hypergraph is not None else communication_hypergraph(problem)
-        views = {u: H.ball(u, R) for u in problem.agents}
     if index is None:
         index = CanonicalIndex(branch_budget=branch_budget)
 
-    forms: Dict[Agent, CanonicalForm] = {}
-    members: Dict[str, List[Agent]] = {}
-    for u in views:
-        agents, cons, bens = view_local_structure(problem, views[u])
-        form = index.canonical_form(agents, cons, bens)
-        forms[u] = form
-        members.setdefault(form.key, []).append(u)
+    forms: Dict[Agent, CanonicalForm]
+    if vectorized or atlas is not None:
+        from ..views.atlas import ViewAtlas
 
+        if atlas is None:
+            if views is not None:
+                atlas = ViewAtlas.from_views(problem, views)
+            else:
+                atlas = ViewAtlas.from_problem(
+                    problem, R, hypergraph=hypergraph
+                )
+        forms = atlas.canonical_forms(index)
+        roots = atlas.roots
+    else:
+        if views is None:
+            H = (
+                hypergraph
+                if hypergraph is not None
+                else communication_hypergraph(problem)
+            )
+            views = {u: H.ball(u, R) for u in problem.agents}
+        forms = {}
+        for u in views:
+            agents, cons, bens = view_local_structure(problem, views[u])
+            forms[u] = index.canonical_form(agents, cons, bens)
+        roots = tuple(views)
+
+    members: Dict[str, List[Agent]] = {}
+    for u in roots:
+        members.setdefault(forms[u].key, []).append(u)
     orbits = tuple(
         ViewOrbit(key=key, members=tuple(agents), form=forms[agents[0]])
         for key, agents in members.items()

@@ -26,7 +26,7 @@ from ..lp.backends import DEFAULT_BACKEND
 from .labeling import DEFAULT_BRANCH_BUDGET
 from .orbits import OrbitPartition, partition_views
 
-__all__ = ["OrbitSolveStats", "orbit_solve_local_lps"]
+__all__ = ["OrbitSolveStats", "orbit_solve_local_lps", "orbit_solve_views"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,82 @@ class OrbitSolveStats:
         }
 
 
+def _resolve_partition(
+    problem: MaxMinLP,
+    R: int,
+    *,
+    engine,
+    views=None,
+    atlas=None,
+    branch_budget: int = DEFAULT_BRANCH_BUDGET,
+    vectorized: bool = True,
+) -> OrbitPartition:
+    """Partition views, reusing the engine's long-lived CanonicalIndex.
+
+    Forms are pure functions of the view, so sharing the index never
+    changes a labeling — it only lets repeated runs (radius sweeps, whole
+    suites) skip re-searching classes they have already canonicalised.  A
+    custom branch budget forces a private index.
+    """
+    index = None
+    if branch_budget == DEFAULT_BRANCH_BUDGET:
+        canon_index = getattr(engine, "canon_index", None)
+        if canon_index is not None:
+            index = canon_index()
+    return partition_views(
+        problem,
+        R,
+        views=views,
+        branch_budget=branch_budget,
+        index=index,
+        atlas=atlas,
+        vectorized=vectorized,
+    )
+
+
+def orbit_solve_views(
+    atlas,
+    R: int,
+    *,
+    engine=None,
+    backend: str = DEFAULT_BACKEND,
+    branch_budget: int = DEFAULT_BRANCH_BUDGET,
+) -> Tuple[OrbitPartition, Dict[str, "LocalLPOutcome"], OrbitSolveStats]:
+    """One canonical solve per orbit of an atlas, without per-agent dicts.
+
+    The array-level core of the vectorized averaging fast path: returns the
+    orbit partition, the canonical-coordinate outcome of each orbit keyed
+    by its canonical key, and the sharing statistics.  Callers assemble
+    per-agent solutions through
+    :meth:`repro.views.ViewAtlas.local_solution_matrix` (or pull back
+    individual members through their forms, which is exactly what
+    :func:`orbit_solve_local_lps` does).
+    """
+    if R < 1:
+        raise ValueError("orbit solve planning requires a radius R >= 1")
+    from ..engine.executor import get_default_engine
+
+    eng = engine if engine is not None else get_default_engine()
+    partition = _resolve_partition(
+        atlas.problem, R, engine=eng, atlas=atlas, branch_budget=branch_budget
+    )
+    canonical = eng.solve_canonical_local_lps(
+        [orbit.form for orbit in partition.orbits], backend=backend
+    )
+    by_key = {
+        orbit.key: outcome for orbit, outcome in zip(partition.orbits, canonical)
+    }
+    stats = OrbitSolveStats(
+        n_agents=len(partition.forms),
+        n_orbits=partition.n_orbits,
+        shared=len(partition.forms) - partition.n_orbits,
+        inexact_orbits=sum(
+            1 for orbit in partition.orbits if not orbit.form.exact
+        ),
+    )
+    return partition, by_key, stats
+
+
 def orbit_solve_local_lps(
     problem: MaxMinLP,
     views: Mapping[Agent, FrozenSet[Agent]],
@@ -76,6 +152,8 @@ def orbit_solve_local_lps(
     backend: str = DEFAULT_BACKEND,
     branch_budget: int = DEFAULT_BRANCH_BUDGET,
     partition: Optional[OrbitPartition] = None,
+    atlas=None,
+    vectorized: bool = True,
 ) -> Tuple[Dict[Agent, "LocalLPOutcome"], OrbitSolveStats]:
     """Solve every view's local LP, sharing solves across view orbits.
 
@@ -83,6 +161,8 @@ def orbit_solve_local_lps(
     vertex names, objective of the orbit's canonical LP) plus the sharing
     statistics.  ``R`` is only used for the partition metadata and the
     usual non-positive-radius guard; the views themselves drive the solve.
+    ``vectorized`` selects the batch canonicalisation pipeline (identical
+    forms either way); a pre-built atlas short-circuits view extraction.
     """
     if R < 1:
         raise ValueError("orbit solve planning requires a radius R >= 1")
@@ -90,18 +170,14 @@ def orbit_solve_local_lps(
 
     eng = engine if engine is not None else get_default_engine()
     if partition is None:
-        # Reuse the engine's long-lived CanonicalIndex when the caller did
-        # not ask for a custom budget: forms are pure functions of the view,
-        # so sharing the index never changes a labeling — it only lets
-        # repeated runs (radius sweeps, whole suites) skip re-searching
-        # classes they have already canonicalised.
-        index = None
-        if branch_budget == DEFAULT_BRANCH_BUDGET:
-            canon_index = getattr(eng, "canon_index", None)
-            if canon_index is not None:
-                index = canon_index()
-        partition = partition_views(
-            problem, R, views=views, branch_budget=branch_budget, index=index
+        partition = _resolve_partition(
+            problem,
+            R,
+            engine=eng,
+            views=views,
+            atlas=atlas,
+            branch_budget=branch_budget,
+            vectorized=vectorized,
         )
 
     canonical = eng.solve_canonical_local_lps(

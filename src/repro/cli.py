@@ -16,6 +16,7 @@ Available commands::
     isp          the Section 2 ISP application
     all          every experiment above, in order
     batch        run averaging jobs through the batch engine (parallel + cached)
+    bench        run the views-pipeline benchmark set (writes BENCH_views.json)
     cache        inspect, clear or prune the on-disk result cache
     canon        view-canonicalization statistics (orbit counts per family)
     suite        declarative scenario suites: run, list-families, show
@@ -326,6 +327,143 @@ def run_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def bench_measurements(quick: bool, repeats: int) -> Dict[str, object]:
+    """Measure the views-pipeline benchmark set (best-of-``repeats``).
+
+    The single source of truth for the benchmark protocol — shapes, radii,
+    fresh-engine discipline and best-of-N timing: ``repro bench`` (and its
+    CI regression gate) and ``benchmarks/test_bench_views.py`` (the
+    acceptance asserts) both call this function, so they can never
+    measure different things.
+    """
+    from .views import ball_membership
+    from .hypergraph.communication import communication_hypergraph
+
+    e2e_shape = (16, 16) if quick else (30, 30)
+    balls_shape = (24, 24) if quick else (48, 48)
+    balls_radius = 2 if quick else 3
+
+    problem = grid_instance(e2e_shape, torus=True)
+    scalar_s = vector_s = float("inf")
+    for _ in range(repeats):
+        for vectorized in (False, True):
+            engine = BatchSolver(cache=ResultCache())
+            start = time.perf_counter()
+            local_averaging_solution(
+                problem, 2, engine=engine, share_orbits=True,
+                vectorized=vectorized,
+            )
+            elapsed = time.perf_counter() - start
+            if vectorized:
+                vector_s = min(vector_s, elapsed)
+            else:
+                scalar_s = min(scalar_s, elapsed)
+
+    H = communication_hypergraph(grid_instance(balls_shape, torus=True))
+    H.adjacency_csr()
+    ball_scalar = ball_batch = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for u in H.nodes:
+            H.ball(u, balls_radius)
+        ball_scalar = min(ball_scalar, time.perf_counter() - start)
+        start = time.perf_counter()
+        ball_membership(H, balls_radius)
+        ball_batch = min(ball_batch, time.perf_counter() - start)
+
+    return {
+        "quick": quick,
+        "e2e": {
+            "shape": list(e2e_shape),
+            "R": 2,
+            "scalar_seconds": round(scalar_s, 4),
+            "vectorized_seconds": round(vector_s, 4),
+            "speedup": round(scalar_s / vector_s, 2),
+        },
+        "balls": {
+            "shape": list(balls_shape),
+            "R": balls_radius,
+            "scalar_seconds": round(ball_scalar, 4),
+            "batch_seconds": round(ball_batch, 4),
+            "speedup": round(ball_scalar / ball_batch, 2),
+        },
+    }
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    """Run the views-pipeline benchmark set; optionally gate on a baseline.
+
+    Regressions are judged on *speedups* (scalar over vectorized), which
+    transfer across machines where absolute wall-clock numbers do not: the
+    gate fails when a measured speedup falls more than ``--max-regression``
+    below the committed baseline's.
+    """
+    rows = bench_measurements(not args.full, args.repeats)
+    e2e, balls = rows["e2e"], rows["balls"]
+    _print(
+        "BENCH: vectorized views pipeline"
+        + (" (quick mode)" if rows["quick"] else ""),
+        render_rows(
+            [
+                {
+                    "benchmark": "local_averaging share_orbits e2e",
+                    "instance": f"torus {tuple(e2e['shape'])} R={e2e['R']}",
+                    "scalar_s": e2e["scalar_seconds"],
+                    "vectorized_s": e2e["vectorized_seconds"],
+                    "speedup": e2e["speedup"],
+                },
+                {
+                    "benchmark": "batch ball extraction",
+                    "instance": f"torus {tuple(balls['shape'])} R={balls['R']}",
+                    "scalar_s": balls["scalar_seconds"],
+                    "vectorized_s": balls["batch_seconds"],
+                    "speedup": balls["speedup"],
+                },
+            ]
+        ),
+    )
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(rows, indent=2))
+        print(f"\nwrote {args.out}")
+
+    if args.compare:
+        baseline_path = Path(args.compare)
+        if not baseline_path.is_file():
+            raise SystemExit(f"baseline file not found: {baseline_path}")
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except ValueError as exc:
+            raise SystemExit(f"invalid baseline JSON {baseline_path}: {exc}")
+        if "quick" in baseline and bool(baseline["quick"]) != rows["quick"]:
+            raise SystemExit(
+                "baseline/measurement mode mismatch: baseline is "
+                f"{'quick' if baseline['quick'] else 'full'} mode but this "
+                f"run is {'quick' if rows['quick'] else 'full'} mode — "
+                "speedups are only comparable at matching instance sizes"
+            )
+        failures = []
+        for section in ("e2e", "balls"):
+            reference = baseline.get(section, {}).get("speedup")
+            if reference is None:
+                continue
+            floor = reference * (1.0 - args.max_regression)
+            measured = rows[section]["speedup"]
+            status = "ok" if measured >= floor else "REGRESSION"
+            print(
+                f"{section}: speedup {measured:.2f}x vs baseline "
+                f"{reference:.2f}x (floor {floor:.2f}x) -> {status}"
+            )
+            if measured < floor:
+                failures.append(section)
+        if failures:
+            raise SystemExit(
+                f"benchmark regression (> {args.max_regression:.0%}) in: "
+                + ", ".join(failures)
+            )
+    return 0
+
+
 def run_canon(args: argparse.Namespace) -> int:
     """View-orbit statistics: how much solve sharing each family admits."""
     from .canon import partition_views
@@ -543,6 +681,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sp = sub.add_parser(
+        "bench",
+        help="run the views-pipeline benchmark set (quick mode by default)",
+    )
+    sp.add_argument(
+        "--full",
+        action="store_true",
+        help="full-size instances (the acceptance-benchmark shapes)",
+    )
+    sp.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    sp.add_argument(
+        "--out", default=None, help="write measurements as JSON (BENCH_views.json)"
+    )
+    sp.add_argument(
+        "--compare",
+        default=None,
+        help="baseline BENCH_views.json to gate against (compares speedups)",
+    )
+    sp.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="allowed fractional speedup drop vs the baseline (default 0.30)",
+    )
+
+    sp = sub.add_parser(
         "canon",
         help="view-canonicalization statistics (orbit counts per instance family)",
     )
@@ -638,6 +803,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return run_batch(args)
     if args.command == "cache":
         return run_cache(args)
+    if args.command == "bench":
+        return run_bench(args)
     if args.command == "canon":
         return run_canon(args)
     if args.command == "suite":

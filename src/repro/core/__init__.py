@@ -20,6 +20,7 @@ from .local_averaging import (
     LocalAveragingResult,
     local_averaging_solution,
     solve_local_lp,
+    solve_local_lp_batch,
 )
 from .optimal import OptimalSolution, optimal_objective, optimal_solution
 from .problem import Agent, Beneficiary, DegreeBounds, MaxMinLP, MaxMinLPBuilder, Resource
@@ -45,6 +46,7 @@ __all__ = [
     "LocalAveragingResult",
     "local_averaging_solution",
     "solve_local_lp",
+    "solve_local_lp_batch",
     "uniform_share_solution",
     "single_shot_local_solution",
     "unshrunk_averaging_solution",

@@ -20,15 +20,30 @@ optimum, where ``S_k = ∩_{j∈V_k} V^j``, ``m_k = |S_k|`` and
 ``M_k = max_{j∈V_k} |V^j|``.
 
 This module is the centralised simulation of the algorithm (every quantity
-is computed exactly as defined); the message-passing version that runs on
-the synchronous simulator is :class:`repro.distributed.programs.LocalAveragingProgram`
-and is checked against this implementation in the integration tests.
+is computed exactly as defined).  Two implementations coexist and are bit
+identical (the benchmark suite asserts exact float equality on every
+scenario family):
+
+* the **vectorized** default — balls, view canonicalisation and the
+  Figure 2 set system all run as batched sparse-matrix sweeps through
+  :mod:`repro.views`;
+* the **scalar** reference (``vectorized=False``) — one Python BFS / local
+  LP / set loop per agent, kept callable for the equality tests and the
+  speedup benchmarks.
+
+The sums of step 3 run in instance column order (ascending agent position)
+in both implementations, which is what makes them exactly interchangeable.
+The message-passing version that runs on the synchronous simulator is
+:class:`repro.distributed.programs.LocalAveragingProgram` and is checked
+against this implementation in the integration tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Optional
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional
+
+import numpy as np
 
 from ..exceptions import SolverError
 from ..hypergraph.communication import communication_hypergraph
@@ -37,7 +52,12 @@ from ..lp.backends import DEFAULT_BACKEND
 from ..engine.executor import BatchSolver, get_default_engine
 from .problem import Agent, Beneficiary, MaxMinLP, Resource
 
-__all__ = ["LocalAveragingResult", "local_averaging_solution", "solve_local_lp"]
+__all__ = [
+    "LocalAveragingResult",
+    "local_averaging_solution",
+    "solve_local_lp",
+    "solve_local_lp_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -90,6 +110,28 @@ class LocalAveragingResult:
     orbit_stats: Optional[Dict[str, float]] = field(repr=False, default=None)
 
 
+def solve_local_lp_batch(
+    problem: MaxMinLP,
+    views: Iterable[Iterable[Agent]],
+    *,
+    backend: str = DEFAULT_BACKEND,
+    engine: Optional[BatchSolver] = None,
+) -> List[Dict[Agent, float]]:
+    """Solve the local LP (9) for a batch of views as one engine batch.
+
+    Returns one local solution per view, in input order.  All views travel
+    through a single engine submission, so isomorphic views collapse to one
+    solve and a pooled engine fans the distinct ones out concurrently —
+    submitting views one at a time forfeits both.
+    """
+    eng = engine if engine is not None else get_default_engine()
+    view_sets = [frozenset(view) for view in views]
+    outcomes = eng.solve_local_lps(
+        problem, dict(enumerate(view_sets)), backend=backend
+    )
+    return [dict(outcomes[idx].x) for idx in range(len(view_sets))]
+
+
 def solve_local_lp(
     problem: MaxMinLP,
     view: FrozenSet[Agent],
@@ -103,13 +145,88 @@ def solve_local_lp(
     the view contains no complete beneficiary support (``K^u = ∅``) the local
     objective is vacuous and the all-zero solution is returned.
 
-    The solve is routed through the batch engine (``engine`` or the
-    process-wide default), so repeated views are served from its cache.
+    Thin single-view wrapper over :func:`solve_local_lp_batch`; callers
+    with many views should batch them.
     """
-    eng = engine if engine is not None else get_default_engine()
-    local = problem.local_subproblem(view)
-    (outcome,) = eng.solve_subproblems([local], backend=backend)
-    return dict(outcome.x)
+    (solution,) = solve_local_lp_batch(
+        problem, [view], backend=backend, engine=engine
+    )
+    return solution
+
+
+def _segment_reduce(
+    ufunc: np.ufunc, values: np.ndarray, indptr: np.ndarray, empty: float
+) -> np.ndarray:
+    """Per-segment ``ufunc.reduceat`` with a fill value for empty segments.
+
+    ``reduceat`` misreads an empty segment's start index as a singleton, so
+    the starts are clipped into range and the empty slots overwritten.
+    """
+    counts = np.diff(indptr)
+    if values.size == 0:
+        return np.full(counts.size, empty, dtype=np.float64)
+    idx = np.minimum(indptr[:-1], values.size - 1)
+    out = ufunc.reduceat(values.astype(np.float64, copy=False), idx)
+    out[counts == 0] = empty
+    return out
+
+
+def _segment_min(values: np.ndarray, indptr: np.ndarray, empty: float) -> np.ndarray:
+    return _segment_reduce(np.minimum, values, indptr, empty)
+
+
+def _segment_max(values: np.ndarray, indptr: np.ndarray, empty: float) -> np.ndarray:
+    return _segment_reduce(np.maximum, values, indptr, empty)
+
+
+def _segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-segment sum (exact here: only ever applied to integer counts)."""
+    return _segment_reduce(np.add, values, indptr, 0.0)
+
+
+def _figure2_arrays(problem: MaxMinLP, atlas) -> Dict[str, np.ndarray]:
+    """The Figure 2 set system, vectorized: all counts via sparse products.
+
+    Every quantity is an exact integer (set cardinalities) or a single
+    float division of exact integers, so the results equal the scalar set
+    loops bit for bit.
+    """
+    counts = atlas.membership_counts()
+    sizes = atlas.view_sizes().astype(np.int64)
+    A, C = problem.A, problem.C
+
+    # N_i = |∪_{j∈V_i} V^j|: nonzeros per row of the count product.
+    a_pattern = counts.__class__(
+        (
+            np.ones(A.indices.size, dtype=np.int32),
+            A.indices.copy(),
+            A.indptr.copy(),
+        ),
+        shape=A.shape,
+    )
+    union_counts = a_pattern @ counts
+    N = np.diff(union_counts.indptr).astype(np.int64)
+    # n_i = min_{j∈V_i} |V^j|.
+    n = _segment_min(sizes[A.indices], A.indptr, 0.0).astype(np.int64)
+
+    # M_k = max_{j∈V_k} |V^j|.
+    M = _segment_max(sizes[C.indices], C.indptr, 0.0).astype(np.int64)
+    # m_k = |∩_{j∈V_k} V^j|: columns reached by *every* member of V_k.
+    c_pattern = counts.__class__(
+        (
+            np.ones(C.indices.size, dtype=np.int32),
+            C.indices.copy(),
+            C.indptr.copy(),
+        ),
+        shape=C.shape,
+    )
+    reach_counts = c_pattern @ counts
+    support_sizes = np.diff(C.indptr)
+    full = reach_counts.data == np.repeat(
+        support_sizes, np.diff(reach_counts.indptr)
+    )
+    m = _segment_sum(full.astype(np.int64), reach_counts.indptr).astype(np.int64)
+    return {"N": N, "n": n, "M": M, "m": m, "sizes": sizes}
 
 
 def local_averaging_solution(
@@ -121,6 +238,7 @@ def local_averaging_solution(
     keep_local_solutions: bool = False,
     engine: Optional[BatchSolver] = None,
     share_orbits: bool = False,
+    vectorized: bool = True,
 ) -> LocalAveragingResult:
     """Run the Section 5 local averaging algorithm with radius ``R``.
 
@@ -158,6 +276,12 @@ def local_averaging_solution(
         The output is bit-identical to the per-agent path — both paths
         solve the same canonical LPs and apply the same pull-back maps —
         and :attr:`LocalAveragingResult.orbit_stats` records the sharing.
+    vectorized:
+        Run view extraction, canonicalisation and the Figure 2 set system
+        as batched sparse-matrix sweeps (:mod:`repro.views`) instead of
+        per-agent Python loops.  Both implementations produce exactly the
+        same result (asserted by the benchmark suite); the scalar path
+        exists for those equality checks and as the speedup baseline.
     """
     if R < 1:
         raise ValueError("the local averaging algorithm requires R >= 1")
@@ -167,7 +291,175 @@ def local_averaging_solution(
             "the supplied hypergraph's vertex set does not match the problem's agents"
         )
     eng = engine if engine is not None else get_default_engine()
+    if vectorized:
+        return _local_averaging_vectorized(
+            problem,
+            R,
+            H,
+            eng,
+            backend=backend,
+            keep_local_solutions=keep_local_solutions,
+            share_orbits=share_orbits,
+        )
+    return _local_averaging_scalar(
+        problem,
+        R,
+        H,
+        eng,
+        backend=backend,
+        keep_local_solutions=keep_local_solutions,
+        share_orbits=share_orbits,
+    )
 
+
+def _local_averaging_vectorized(
+    problem: MaxMinLP,
+    R: int,
+    H: Hypergraph,
+    eng: BatchSolver,
+    *,
+    backend: str,
+    keep_local_solutions: bool,
+    share_orbits: bool,
+) -> LocalAveragingResult:
+    """Batched implementation: one sparse sweep per pipeline stage."""
+    from ..views.atlas import ViewAtlas
+
+    atlas = ViewAtlas.from_problem(problem, R, hypergraph=H)
+    n_agents = problem.n_agents
+    sizes = atlas.view_sizes().astype(np.int64)
+
+    # Step 1: local solutions, as the (n_views x n_agents) matrix X with
+    # X[u, j] = x^u_j.
+    orbit_stats = None
+    if share_orbits:
+        from ..canon.planner import orbit_solve_views
+
+        partition, by_key, stats = orbit_solve_views(
+            atlas, R, engine=eng, backend=backend
+        )
+        orbit_stats = stats.as_dict()
+        x_by_key: Dict[str, np.ndarray] = {}
+        objective_by_key: Dict[str, float] = {}
+        for orbit in partition.orbits:
+            outcome = by_key[orbit.key]
+            vector = np.zeros(orbit.form.n_agents, dtype=np.float64)
+            for position, value in outcome.x.items():
+                vector[position] = value
+            x_by_key[orbit.key] = vector
+            objective_by_key[orbit.key] = outcome.objective
+        X = atlas.local_solution_matrix(x_by_key)
+        forms = partition.forms
+        local_objectives = {
+            u: objective_by_key[forms[u].key] for u in atlas.roots
+        }
+        solutions_getter = None
+    else:
+        outcomes = eng.solve_local_lps(
+            problem, atlas.views(), backend=backend, atlas=atlas
+        )
+        membership = atlas.membership
+        agents_tuple = problem.agents
+        data = np.empty(membership.nnz, dtype=np.float64)
+        indptr, indices = membership.indptr, membership.indices
+        for row, root in enumerate(atlas.roots):
+            x_u = outcomes[root].x
+            for e in range(indptr[row], indptr[row + 1]):
+                data[e] = x_u.get(agents_tuple[indices[e]], 0.0)
+        X = membership.__class__(
+            (data, indices.copy(), indptr), shape=membership.shape
+        )
+        local_objectives = {u: outcomes[u].objective for u in atlas.roots}
+        solutions_getter = outcomes
+
+    # Steps 2-3, vectorized (exact integer set arithmetic, float ops in the
+    # same order as the scalar loops).
+    fig2 = _figure2_arrays(problem, atlas)
+    N, n, M, m = fig2["N"], fig2["n"], fig2["M"], fig2["m"]
+
+    valid_n = n > 0
+    resource_ratio = (
+        float((N[valid_n] / n[valid_n]).max()) if valid_n.any() else 1.0
+    )
+    valid_m = m > 0
+    beneficiary_ratio = (
+        float((M[valid_m] / m[valid_m]).max()) if valid_m.any() else 1.0
+    )
+
+    ratio = np.divide(
+        n.astype(np.float64),
+        N.astype(np.float64),
+        out=np.ones(N.size, dtype=np.float64),
+        where=N > 0,
+    )
+    A_csc = problem.A_csc()
+    beta_arr = _segment_min(ratio[A_csc.indices], A_csc.indptr, 1.0)
+
+    # Step 3: Σ_{u ∈ V^j} x^u_j.  ``bincount`` accumulates strictly in
+    # storage order — row-major, so each column's contributions arrive in
+    # ascending-row order, the exact float addition sequence of the scalar
+    # loop (reduceat would sum pairwise and drift in the last ulp).
+    totals = np.bincount(X.indices, weights=X.data, minlength=n_agents)
+    x_arr = beta_arr * totals / sizes
+
+    agents = problem.agents
+    x_tilde = {agents[j]: float(x_arr[j]) for j in range(n_agents)}
+    beta = {agents[j]: float(beta_arr[j]) for j in range(n_agents)}
+    view_sizes = {agents[j]: int(sizes[j]) for j in range(n_agents)}
+
+    local_solutions = None
+    if keep_local_solutions:
+        if solutions_getter is not None:
+            local_solutions = {
+                u: dict(solutions_getter[u].x) for u in atlas.roots
+            }
+        else:
+            forms_map = forms
+            local_solutions = {}
+            for row, root in enumerate(atlas.roots):
+                # Reconstruct each dict in pull-back (canonical position)
+                # order, matching the scalar path exactly.
+                vector = x_by_key[forms_map[root].key]
+                local_solutions[root] = {
+                    agent: float(vector[position])
+                    for position, agent in enumerate(
+                        forms_map[root].agent_order
+                    )
+                }
+
+    objective = problem.objective(x_arr)
+    return LocalAveragingResult(
+        R=R,
+        x=x_tilde,
+        objective=float(objective),
+        beta=beta,
+        view_sizes=view_sizes,
+        resource_ratio=float(resource_ratio),
+        beneficiary_ratio=float(beneficiary_ratio),
+        proven_ratio_bound=float(resource_ratio * beneficiary_ratio),
+        local_objectives=local_objectives,
+        local_solutions=local_solutions,
+        orbit_stats=orbit_stats,
+    )
+
+
+def _local_averaging_scalar(
+    problem: MaxMinLP,
+    R: int,
+    H: Hypergraph,
+    eng: BatchSolver,
+    *,
+    backend: str,
+    keep_local_solutions: bool,
+    share_orbits: bool,
+) -> LocalAveragingResult:
+    """Per-agent reference implementation (the pre-vectorization pipeline).
+
+    One BFS ball, one local-LP canonicalisation and one set-arithmetic pass
+    per agent.  Kept callable so the equality tests and the speedup
+    benchmarks can compare against it; the step 3 sums run in ascending
+    agent-position order, the same order the vectorized path uses.
+    """
     # Step 1: local views and local LP solutions, as one engine batch.
     views: Dict[Agent, FrozenSet[Agent]] = {
         u: H.ball(u, R) for u in problem.agents
@@ -177,7 +469,7 @@ def local_averaging_solution(
         from ..canon.planner import orbit_solve_local_lps
 
         outcomes, stats = orbit_solve_local_lps(
-            problem, views, R, engine=eng, backend=backend
+            problem, views, R, engine=eng, backend=backend, vectorized=False
         )
         orbit_stats = stats.as_dict()
     else:
@@ -227,6 +519,7 @@ def local_averaging_solution(
     # Step 3: shrink factors and the averaged solution.
     beta: Dict[Agent, float] = {}
     x_tilde: Dict[Agent, float] = {}
+    position = problem.agent_position
     for j in problem.agents:
         resources_j = problem.agent_resources(j)
         if resources_j:
@@ -235,7 +528,7 @@ def local_averaging_solution(
             beta_j = 1.0
         beta[j] = beta_j
         total = 0.0
-        for u in views[j]:
+        for u in sorted(views[j], key=position):
             total += local_solutions[u].get(j, 0.0)
         x_tilde[j] = beta_j * total / view_sizes[j]
 

@@ -133,6 +133,9 @@ class MaxMinLP:
         "_beneficiary_support",
         "_agent_resources",
         "_agent_beneficiaries",
+        "_A_csc",
+        "_C_csc",
+        "_sort_ranks",
     )
 
     def __init__(
@@ -241,6 +244,9 @@ class MaxMinLP:
         self._C = self._build_matrix(
             self._c, self._beneficiary_index, len(self._beneficiaries)
         )
+        self._A_csc = None
+        self._C_csc = None
+        self._sort_ranks = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -315,6 +321,53 @@ class MaxMinLP:
     def C(self) -> sp.csr_matrix:
         """The ``|K| x |V|`` benefit matrix as a CSR sparse matrix."""
         return self._C
+
+    def A_csc(self) -> sp.csc_matrix:
+        """:attr:`A` in CSC form, built once — per-agent column slices."""
+        if self._A_csc is None:
+            self._A_csc = self._A.tocsc()
+            self._A_csc.sort_indices()
+        return self._A_csc
+
+    def C_csc(self) -> sp.csc_matrix:
+        """:attr:`C` in CSC form, built once — per-agent column slices."""
+        if self._C_csc is None:
+            self._C_csc = self._C.tocsc()
+            self._C_csc.sort_indices()
+        return self._C_csc
+
+    def sort_ranks(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Identifier-sort ranks of agents, resources and beneficiaries.
+
+        ``agent_ranks[j]`` is the position of the agent in column ``j``
+        within the :func:`repro.core.ordering.identifier_sort_key` order of
+        all agents (and likewise for resource / beneficiary rows).  The rank
+        of an identifier inside any *subset* is its rank order restricted to
+        the subset, which is what lets the batch view-extraction pipeline
+        sort every view's identifier lists with shared ``argsort`` calls
+        instead of one Python ``sorted()`` per view.  Computed once per
+        instance and cached.
+        """
+        if self._sort_ranks is None:
+            from .ordering import identifier_sort_key
+
+            def ranks_of(identifiers: Tuple) -> np.ndarray:
+                order = sorted(
+                    range(len(identifiers)),
+                    key=lambda j: identifier_sort_key(identifiers[j]),
+                )
+                ranks = np.empty(len(identifiers), dtype=np.int64)
+                ranks[np.asarray(order, dtype=np.int64)] = np.arange(
+                    len(identifiers), dtype=np.int64
+                )
+                return ranks
+
+            self._sort_ranks = (
+                ranks_of(self._agents),
+                ranks_of(self._resources),
+                ranks_of(self._beneficiaries),
+            )
+        return self._sort_ranks
 
     def agent_position(self, v: Agent) -> int:
         """Return the column index of agent ``v``."""

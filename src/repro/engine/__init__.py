@@ -31,6 +31,7 @@ from .fingerprint import (
     FINGERPRINT_VERSION,
     canonical_json,
     fingerprint_canonical_request,
+    fingerprint_canonical_requests,
     fingerprint_data,
     fingerprint_instance,
     fingerprint_request,
@@ -50,6 +51,7 @@ __all__ = [
     "canonical_json",
     "default_cache_dir",
     "fingerprint_canonical_request",
+    "fingerprint_canonical_requests",
     "fingerprint_data",
     "fingerprint_instance",
     "fingerprint_request",

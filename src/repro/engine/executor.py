@@ -60,7 +60,11 @@ from ..io import solution_from_dict, solution_to_dict
 from ..lp.backends import DEFAULT_BACKEND
 from ..lp.maxmin import MaxMinSolveResult, solve_max_min
 from .cache import ResultCache
-from .fingerprint import fingerprint_canonical_request, fingerprint_request
+from .fingerprint import (
+    fingerprint_canonical_requests,
+    fingerprint_instance,
+    fingerprint_request,
+)
 from .jobs import JobRecord, RunRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a cycle
@@ -372,10 +376,9 @@ class BatchSolver:
         planner (:func:`repro.canon.orbit_solve_local_lps`) calls this
         directly with one form per view orbit.
         """
-        keys = [
-            fingerprint_canonical_request(form.key, backend=backend)
-            for form in forms
-        ]
+        keys = fingerprint_canonical_requests(
+            [form.key for form in forms], backend=backend
+        )
         payloads = self._run_requests(
             keys,
             [form.problem for form in forms],
@@ -397,17 +400,66 @@ class BatchSolver:
         views: Mapping[Agent, FrozenSet[Agent]],
         *,
         backend: str = DEFAULT_BACKEND,
+        atlas=None,
     ) -> Dict[Agent, LocalLPOutcome]:
         """Solve the local LP of every view ``V^u`` of ``problem``.
 
-        This is step 1 of the Section 5 algorithm as a single batch: the
-        canonical subproblems of agents with identical views are identical,
-        so dedup + cache can shrink the batch substantially.
+        This is step 1 of the Section 5 algorithm as a single batch.  On
+        the canonical path the views run through the batch canonicalisation
+        pipeline (:mod:`repro.views`) — no per-agent sub-instance is ever
+        compiled; only the cache-miss canonical representatives
+        materialise.  A pre-built :class:`~repro.views.ViewAtlas` over the
+        same views may be passed to reuse its extraction work.
+
+        On the legacy literal path (``canonical_local=False``) each
+        request is keyed by the *base* instance fingerprint — hashed once
+        per batch — plus the view's agent set, instead of re-serialising
+        every compiled subproblem; subproblems are built lazily, for cache
+        misses only.
         """
         agents = list(views)
-        subproblems = [problem.local_subproblem(views[u]) for u in agents]
-        outcomes = self.solve_subproblems(subproblems, backend=backend)
-        return dict(zip(agents, outcomes))
+        if self.canonical_local:
+            from ..views.atlas import ViewAtlas
+
+            if atlas is None:
+                atlas = ViewAtlas.from_views(problem, views)
+            forms_by_root = atlas.canonical_forms(self.canon_index())
+            forms = [forms_by_root[u] for u in agents]
+            canonical = self.solve_canonical_local_lps(forms, backend=backend)
+            return {
+                u: LocalLPOutcome(
+                    x=form.pull_back(outcome.x), objective=outcome.objective
+                )
+                for u, form, outcome in zip(agents, forms, canonical)
+            }
+        base_fingerprint = fingerprint_instance(problem)
+        keys = [
+            fingerprint_request(
+                None,
+                "local_lp_view",
+                backend=backend,
+                params={"view": sorted(map(repr, views[u]))},
+                instance_fingerprint=base_fingerprint,
+            )
+            for u in agents
+        ]
+        payloads = self._run_requests(
+            keys,
+            [
+                lambda u=u: problem.local_subproblem(views[u])
+                for u in agents
+            ],
+            kind="local_lp",
+            backend=backend,
+            worker=_solve_local_unit,
+        )
+        return {
+            u: LocalLPOutcome(
+                x=solution_from_dict(payload["x"]),
+                objective=float(payload["objective"]),
+            )
+            for u, payload in zip(agents, payloads)
+        }
 
     def solve_maxmin(
         self, problem: MaxMinLP, *, backend: str = DEFAULT_BACKEND

@@ -10,16 +10,32 @@ Equivalently, it is the ordinary graph distance in the *primal graph* (the
 clique expansion of ``H``), which is how this module computes it.
 
 The central primitives are the radius-``r`` balls ``B_H(v, r)`` (Section
-1.5) and breadth-first distance maps, both implemented with plain
-dictionary-based BFS -- the graphs in question are bounded-degree, so BFS
-touches ``O(|B_H(v, r)|)`` vertices and stays cheap even on large instances.
+1.5) and breadth-first distance maps.  Distance maps use plain
+dictionary-based BFS; balls and ball-size profiles run as boolean frontier
+sweeps over a cached CSR adjacency matrix (:meth:`Hypergraph.adjacency_csr`),
+which is also the substrate of the all-sources batch kernel in
+:mod:`repro.views.balls` -- one sparse matrix product advances *every*
+ball's frontier by one step at once.
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-__all__ = ["Hypergraph"]
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Hypergraph", "ragged_gather"]
+
+
+def ragged_gather(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Indices gathering the ranges ``[starts[i], starts[i]+lengths[i])``
+    back to back — the vectorised equivalent of concatenating per-row CSR
+    slices.  Shared by the single-source frontier sweep below and the batch
+    view-extraction pipeline (:mod:`repro.views.atlas`)."""
+    total = int(lengths.sum())
+    offsets = np.concatenate(([0], np.cumsum(lengths)))[: len(lengths)]
+    return np.repeat(starts - offsets, lengths) + np.arange(total, dtype=np.int64)
 
 Node = Hashable
 EdgeLabel = Hashable
@@ -40,7 +56,7 @@ class Hypergraph:
         adjacency).
     """
 
-    __slots__ = ("_nodes", "_edges", "_incident", "_adjacency")
+    __slots__ = ("_nodes", "_edges", "_incident", "_adjacency", "_node_index", "_adj_csr")
 
     def __init__(
         self,
@@ -83,6 +99,9 @@ class Hypergraph:
                 for b in member_list:
                     if a != b:
                         adjacency_a.add(b)
+
+        self._node_index: Dict[Node, int] = {v: j for j, v in enumerate(self._nodes)}
+        self._adj_csr: Optional[sp.csr_matrix] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -131,6 +150,45 @@ class Hypergraph:
         """Maximum primal-graph degree over all vertices (0 for empty graphs)."""
         return max((len(s) for s in self._adjacency.values()), default=0)
 
+    def node_position(self, v: Node) -> int:
+        """The index of ``v`` in :attr:`nodes` (the CSR adjacency row/column)."""
+        return self._node_index[v]
+
+    def node_positions(self) -> Mapping[Node, int]:
+        """The full node -> index mapping underlying :meth:`adjacency_csr`."""
+        return self._node_index
+
+    def adjacency_csr(self) -> sp.csr_matrix:
+        """The boolean primal-graph adjacency as an ``n x n`` CSR matrix.
+
+        Rows and columns follow :attr:`nodes` order (see
+        :meth:`node_position`); entries are ``int8`` ones.  The matrix is
+        built once and cached -- :meth:`ball`, :meth:`ball_sizes` and the
+        batch kernel in :mod:`repro.views.balls` all sweep over the same
+        object, so repeated ball extractions never rebuild adjacency state.
+        """
+        if self._adj_csr is None:
+            n = len(self._nodes)
+            counts = np.fromiter(
+                (len(self._adjacency[v]) for v in self._nodes),
+                dtype=np.int64,
+                count=n,
+            )
+            indptr = np.concatenate(([0], np.cumsum(counts)))
+            indices = np.empty(int(indptr[-1]), dtype=np.int64)
+            index = self._node_index
+            pos = 0
+            for v in self._nodes:
+                nbrs = self._adjacency[v]
+                for w in nbrs:
+                    indices[pos] = index[w]
+                    pos += 1
+            data = np.ones(indices.size, dtype=np.int8)
+            matrix = sp.csr_matrix((data, indices, indptr), shape=(n, n))
+            matrix.sort_indices()
+            self._adj_csr = matrix
+        return self._adj_csr
+
     # ------------------------------------------------------------------
     # Distances and balls
     # ------------------------------------------------------------------
@@ -171,21 +229,65 @@ class Hypergraph:
         dist = self.distances_from(u)
         return dist.get(v, float("inf"))
 
+    def _ball_member_mask(self, v: Node, radius: int) -> Tuple[np.ndarray, List[int]]:
+        """Grow one ball a frontier at a time over the CSR adjacency.
+
+        Returns the boolean membership mask after ``radius`` sweeps plus the
+        prefix ball sizes ``[|B(v,0)|, ..., |B(v,radius)|]``.  Each sweep
+        gathers the CSR neighbour lists of the current frontier in one
+        vectorised slice -- no per-vertex Python iteration.
+        """
+        if v not in self._node_index:
+            raise KeyError(f"unknown vertex {v!r}")
+        adj = self.adjacency_csr()
+        indptr, indices = adj.indptr, adj.indices
+        member = np.zeros(len(self._nodes), dtype=bool)
+        member[self._node_index[v]] = True
+        frontier = np.asarray([self._node_index[v]], dtype=np.int64)
+        sizes = [1]
+        for _ in range(radius):
+            if frontier.size == 0:
+                sizes.append(sizes[-1])
+                continue
+            starts = indptr[frontier]
+            lengths = indptr[frontier + 1] - starts
+            if int(lengths.sum()) == 0:
+                frontier = frontier[:0]
+                sizes.append(sizes[-1])
+                continue
+            reached = indices[ragged_gather(starts, lengths)]
+            fresh = reached[~member[reached]]
+            member[fresh] = True  # duplicates collapse; mask is idempotent
+            frontier = np.unique(fresh)
+            # Running count: the ball grew by exactly the new frontier, so
+            # no per-step O(n) mask scan is needed.
+            sizes.append(sizes[-1] + int(frontier.size))
+        return member, sizes
+
     def ball(self, v: Node, radius: int) -> FrozenSet[Node]:
-        """The ball ``B_H(v, r) = {u : d_H(u, v) ≤ r}`` (Section 1.5)."""
+        """The ball ``B_H(v, r) = {u : d_H(u, v) ≤ r}`` (Section 1.5).
+
+        Single-source balls stay on the dictionary BFS — for one bounded-
+        degree source the per-step array overhead of the CSR sweep costs
+        more than it saves.  The CSR adjacency serves :meth:`ball_sizes`
+        (whole profile, one traversal) and the all-sources batch kernel
+        :func:`repro.views.balls.ball_membership`, which is the fast path
+        when every agent's ball is needed.
+        """
         if radius < 0:
             raise ValueError("radius must be non-negative")
         return frozenset(self.distances_from(v, cutoff=radius))
 
     def ball_sizes(self, v: Node, max_radius: int) -> List[int]:
-        """Sizes ``|B_H(v, r)|`` for ``r = 0, 1, ..., max_radius``."""
-        dist = self.distances_from(v, cutoff=max_radius)
-        sizes = [0] * (max_radius + 1)
-        for d in dist.values():
-            sizes[d] += 1
-        # prefix sums: ball of radius r contains all vertices at distance <= r
-        for r in range(1, max_radius + 1):
-            sizes[r] += sizes[r - 1]
+        """Sizes ``|B_H(v, r)|`` for ``r = 0, 1, ..., max_radius``.
+
+        One incremental frontier sweep per radius step over the shared CSR
+        adjacency -- the profile for all radii costs one traversal, not one
+        BFS per radius.
+        """
+        if max_radius < 0:
+            raise ValueError("max_radius must be non-negative")
+        _, sizes = self._ball_member_mask(v, max_radius)
         return sizes
 
     def is_connected(self) -> bool:

@@ -79,13 +79,28 @@ class TestInstanceFingerprint:
     def test_tuple_identifiers_supported(self, grid4x4):
         assert len(fingerprint_instance(grid4x4)) == 64
 
+    def test_unstable_identifier_types_rejected(self):
+        """Objects with address-bearing reprs must fail loudly, not alias."""
+        from repro import MaxMinLP
+
+        class Opaque:
+            pass
+
+        agent = Opaque()
+        problem = MaxMinLP(
+            [agent], {("i", agent): 1.0}, {("k", agent): 1.0}, validate=False
+        )
+        with pytest.raises(TypeError, match="cannot fingerprint identifier"):
+            fingerprint_instance(problem)
+
     def test_stable_across_process_restarts(self):
         """The digest is pure content: a fresh interpreter reproduces it.
 
-        The literal below pins the version-1 encoding; if it ever changes,
-        bump FINGERPRINT_VERSION instead of updating the literal blindly.
+        The literal below pins the version-2 (raw CSR buffer) encoding; if
+        it ever changes, bump FINGERPRINT_VERSION instead of updating the
+        literal blindly.
         """
-        expected = "a9a50154e495d996dc7c5206a031a24b3f5dfad9533423c23540ccde23ade056"
+        expected = "96c349dbca6383b324cf61f41fae38493a91c2ae07c009754094ed3af14c8b85"
         assert fingerprint_instance(tiny_problem()) == expected
         script = (
             "from repro import MaxMinLPBuilder, fingerprint_instance\n"
@@ -107,7 +122,7 @@ class TestRequestFingerprint:
         problem = tiny_problem()
         base = fingerprint_request(problem, "local_lp", backend="scipy")
         assert base == (
-            "e5ecb2616d240982d0033353e481dade10573f74c548943bca094563ac6edb63"
+            "c6789511d9b2ee79903b96ff0d50c7f17a3be956b42d5877c4e5ace8424ecd76"
         )
         assert fingerprint_request(problem, "maxmin_exact", backend="scipy") != base
         assert fingerprint_request(problem, "local_lp", backend="simplex") != base

@@ -1,0 +1,84 @@
+"""Property tests: the vectorized view pipeline equals the scalar one.
+
+Three layers, three contracts (random bounded-degree instances, the awkward
+shapes the shared strategies are biased towards):
+
+* batch balls == per-agent ``Hypergraph.ball``;
+* CSR-sliced local LPs == ``MaxMinLP.local_subproblem`` (and the raw
+  structures == ``view_local_structure``);
+* batch canonical forms == per-view ``CanonicalIndex.canonical_form`` —
+  same keys, same orders, hence bit-identical solve paths.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import communication_hypergraph
+from repro.canon.labeling import CanonicalIndex, view_local_structure
+from repro.views import ViewAtlas, batch_balls
+
+from .strategies import max_min_instances
+
+
+@st.composite
+def instance_and_radius(draw, **kwargs):
+    problem = draw(max_min_instances(**kwargs))
+    radius = draw(st.integers(min_value=1, max_value=3))
+    return problem, radius
+
+
+class TestBatchBallsEqualScalar:
+    @settings(max_examples=40, deadline=None)
+    @given(instance_and_radius())
+    def test_batch_balls_match_per_agent_bfs(self, case):
+        problem, radius = case
+        H = communication_hypergraph(problem)
+        assert batch_balls(H, radius) == {
+            u: H.ball(u, radius) for u in H.nodes
+        }
+
+
+class TestAtlasEqualsScalarExtraction:
+    @settings(max_examples=30, deadline=None)
+    @given(instance_and_radius())
+    def test_csr_sliced_subproblems_match_local_subproblem(self, case):
+        problem, radius = case
+        H = communication_hypergraph(problem)
+        atlas = ViewAtlas.from_problem(problem, radius, hypergraph=H)
+        for u in problem.agents:
+            view = H.ball(u, radius)
+            assert atlas.subproblem(u) == problem.local_subproblem(view)
+
+    @settings(max_examples=30, deadline=None)
+    @given(instance_and_radius())
+    def test_structures_match_view_local_structure(self, case):
+        problem, radius = case
+        H = communication_hypergraph(problem)
+        atlas = ViewAtlas.from_problem(problem, radius, hypergraph=H)
+        for u in problem.agents:
+            scalar_agents, scalar_cons, scalar_bens = view_local_structure(
+                problem, H.ball(u, radius)
+            )
+            agents, cons, bens = atlas.local_structure(u)
+            assert set(agents) == set(scalar_agents)
+            assert set(cons) == set(scalar_cons)
+            assert set(bens) == set(scalar_bens)
+
+
+class TestBatchCanonEqualsScalarCanon:
+    @settings(max_examples=25, deadline=None)
+    @given(instance_and_radius(max_agents=7))
+    def test_batch_forms_equal_per_view_canonical_forms(self, case):
+        problem, radius = case
+        H = communication_hypergraph(problem)
+        atlas = ViewAtlas.from_problem(problem, radius, hypergraph=H)
+        batch_forms = atlas.canonical_forms(CanonicalIndex())
+        index = CanonicalIndex()
+        for u in problem.agents:
+            agents, cons, bens = view_local_structure(
+                problem, H.ball(u, radius)
+            )
+            scalar_form = index.canonical_form(agents, cons, bens)
+            assert batch_forms[u] == scalar_form

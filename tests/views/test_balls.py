@@ -1,0 +1,93 @@
+"""Unit tests for the batch ball kernel (repro.views.balls)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import communication_hypergraph, cycle_instance, grid_instance
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.views import ball_membership, batch_balls
+
+
+class TestBallMembership:
+    def test_matches_per_source_balls_on_torus(self):
+        H = communication_hypergraph(grid_instance((5, 5), torus=True))
+        for radius in (0, 1, 2, 4):
+            assert batch_balls(H, radius) == {
+                v: H.ball(v, radius) for v in H.nodes
+            }
+
+    def test_matches_per_source_balls_on_cycle(self):
+        H = communication_hypergraph(cycle_instance(9))
+        for radius in (0, 1, 3, 10):
+            assert batch_balls(H, radius) == {
+                v: H.ball(v, radius) for v in H.nodes
+            }
+
+    def test_disconnected_graph(self):
+        H = Hypergraph("abcd", {"e1": ["a", "b"], "e2": ["c", "d"]})
+        assert batch_balls(H, 2) == {v: H.ball(v, 2) for v in H.nodes}
+
+    def test_singleton_and_isolated_nodes(self):
+        H = Hypergraph(["x", "y"], {"loop": ["x"]})
+        assert batch_balls(H, 1) == {"x": frozenset({"x"}), "y": frozenset({"y"})}
+
+    def test_sources_subset_rows(self):
+        H = communication_hypergraph(grid_instance((4, 4)))
+        sources = [(0, 0), (2, 2)]
+        membership = ball_membership(H, 1, sources=sources)
+        assert membership.shape == (2, H.n_nodes)
+        balls = batch_balls(H, 1, sources=sources)
+        assert set(balls) == set(sources)
+        for v in sources:
+            assert balls[v] == H.ball(v, 1)
+
+    def test_membership_rows_are_sorted_binary(self):
+        H = communication_hypergraph(grid_instance((4, 4), torus=True))
+        membership = ball_membership(H, 2)
+        assert membership.has_sorted_indices
+        assert set(np.unique(membership.data)) == {1}
+
+    def test_radius_beyond_diameter_saturates(self):
+        H = communication_hypergraph(cycle_instance(6))
+        full = ball_membership(H, 50)
+        assert full.nnz == H.n_nodes * H.n_nodes
+
+    def test_negative_radius_rejected(self):
+        H = communication_hypergraph(cycle_instance(4))
+        with pytest.raises(ValueError):
+            ball_membership(H, -1)
+
+    def test_unknown_source_rejected(self):
+        H = communication_hypergraph(cycle_instance(4))
+        with pytest.raises(KeyError):
+            ball_membership(H, 1, sources=["nope"])
+
+
+class TestHypergraphCsr:
+    def test_adjacency_csr_matches_dict_adjacency(self):
+        H = communication_hypergraph(grid_instance((4, 3)))
+        adjacency = H.adjacency_csr()
+        for v in H.nodes:
+            row = adjacency.indices[
+                adjacency.indptr[H.node_position(v)]:
+                adjacency.indptr[H.node_position(v) + 1]
+            ]
+            assert {H.nodes[j] for j in row} == H.neighbours(v)
+
+    def test_adjacency_csr_is_cached(self):
+        H = communication_hypergraph(cycle_instance(5))
+        assert H.adjacency_csr() is H.adjacency_csr()
+
+    def test_ball_sizes_incremental_profile(self):
+        H = communication_hypergraph(grid_instance((5, 5), torus=True))
+        for v in list(H.nodes)[:5]:
+            sizes = H.ball_sizes(v, 4)
+            assert sizes == [len(H.ball(v, r)) for r in range(5)]
+            assert sizes == sorted(sizes)  # balls are nested
+
+    def test_ball_sizes_rejects_negative(self):
+        H = communication_hypergraph(cycle_instance(4))
+        with pytest.raises(ValueError):
+            H.ball_sizes(H.nodes[0], -1)
