@@ -30,9 +30,11 @@ from .core import (
     local_averaging_solution,
     optimal_objective,
     optimal_solution,
+    optimal_solution_batch,
     safe_approximation_guarantee,
     safe_solution,
     safe_value,
+    safe_values_array,
     single_shot_local_solution,
     solve_local_lp,
     uniform_share_solution,
@@ -127,8 +129,10 @@ __all__ = [
     "evaluate_solution",
     "safe_solution",
     "safe_value",
+    "safe_values_array",
     "safe_approximation_guarantee",
     "optimal_solution",
+    "optimal_solution_batch",
     "optimal_objective",
     "OptimalSolution",
     "local_averaging_solution",

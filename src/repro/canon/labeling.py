@@ -144,6 +144,26 @@ class CanonicalForm:
             validate=False,
         )
 
+    def compiled(self):
+        """The canonical LP as bare solver matrices (no :class:`MaxMinLP`).
+
+        The relabelled coefficient triples are already sorted by (row,
+        column) -- CSR construction order -- so this produces exactly the
+        matrices :meth:`problem` would compile, without assembling the
+        identifier dictionaries and support sets of a full instance.  This
+        is what the batch engine solves (and ships to worker processes as
+        raw CSR buffers) on a canonical cache miss.
+        """
+        from ..lp.maxmin import CompiledMaxMin
+
+        return CompiledMaxMin.from_triples(
+            self.n_agents,
+            self.n_resources,
+            self.n_beneficiaries,
+            self.consumption,
+            self.benefit,
+        )
+
     def pull_back(self, canonical_x: Dict[int, float]) -> Dict[Agent, float]:
         """Map a solution of the canonical LP back to original agent names."""
         return {

@@ -14,6 +14,14 @@ paths hand the *same matrices* to the solver and apply the *same* pull-back
 maps — the planner merely skips compiling (and fingerprinting) one
 sub-instance per agent, which is where its constant-factor win over the
 engine's content-addressed dedup comes from.
+
+The planner submits its one-LP-per-orbit batch through
+:meth:`~repro.engine.BatchSolver.solve_canonical_local_lps`, so the orbit
+representatives inherit the engine's whole solve stack: compiled sparse
+reductions (no ``MaxMinLP`` is assembled for a representative), the
+content-addressed cache, and the batched LP layer of :mod:`repro.lp.batch`
+— under an engine configured with ``lp_strategy="stacked"`` all cache-miss
+representatives of a batch go to HiGHS as one block-diagonal call.
 """
 
 from __future__ import annotations
@@ -65,6 +73,18 @@ class OrbitSolveStats:
             "sharing_factor": round(self.sharing_factor, 3),
             "inexact_orbits": self.inexact_orbits,
         }
+
+
+def _stats_for(partition: OrbitPartition) -> OrbitSolveStats:
+    """Sharing statistics of one orbit-solve batch (shared by both planners)."""
+    return OrbitSolveStats(
+        n_agents=len(partition.forms),
+        n_orbits=partition.n_orbits,
+        shared=len(partition.forms) - partition.n_orbits,
+        inexact_orbits=sum(
+            1 for orbit in partition.orbits if not orbit.form.exact
+        ),
+    )
 
 
 def _resolve_partition(
@@ -132,15 +152,7 @@ def orbit_solve_views(
     by_key = {
         orbit.key: outcome for orbit, outcome in zip(partition.orbits, canonical)
     }
-    stats = OrbitSolveStats(
-        n_agents=len(partition.forms),
-        n_orbits=partition.n_orbits,
-        shared=len(partition.forms) - partition.n_orbits,
-        inexact_orbits=sum(
-            1 for orbit in partition.orbits if not orbit.form.exact
-        ),
-    )
-    return partition, by_key, stats
+    return partition, by_key, _stats_for(partition)
 
 
 def orbit_solve_local_lps(
@@ -194,12 +206,4 @@ def orbit_solve_local_lps(
         outcomes[u] = LocalLPOutcome(
             x=form.pull_back(shared.x), objective=shared.objective
         )
-    stats = OrbitSolveStats(
-        n_agents=len(partition.forms),
-        n_orbits=partition.n_orbits,
-        shared=len(partition.forms) - partition.n_orbits,
-        inexact_orbits=sum(
-            1 for orbit in partition.orbits if not orbit.form.exact
-        ),
-    )
-    return outcomes, stats
+    return outcomes, _stats_for(partition)

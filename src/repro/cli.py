@@ -16,7 +16,7 @@ Available commands::
     isp          the Section 2 ISP application
     all          every experiment above, in order
     batch        run averaging jobs through the batch engine (parallel + cached)
-    bench        run the views-pipeline benchmark set (writes BENCH_views.json)
+    bench        run a benchmark suite: views pipeline or batched LP solving
     cache        inspect, clear or prune the on-disk result cache
     canon        view-canonicalization statistics (orbit counts per family)
     suite        declarative scenario suites: run, list-families, show
@@ -44,6 +44,7 @@ from .generators import (
     unit_disk_instance,
 )
 from .io import dump_instance
+from .lp import BATCH_STRATEGIES
 from .lowerbound import (
     build_lower_bound_instance,
     finite_R_bound,
@@ -390,37 +391,166 @@ def bench_measurements(quick: bool, repeats: int) -> Dict[str, object]:
     }
 
 
-def run_bench(args: argparse.Namespace) -> int:
-    """Run the views-pipeline benchmark set; optionally gate on a baseline.
+def lp_batch_measurements(quick: bool, repeats: int) -> Dict[str, object]:
+    """Measure the batched-LP-solving benchmark set (best-of-``repeats``).
 
-    Regressions are judged on *speedups* (scalar over vectorized), which
-    transfer across machines where absolute wall-clock numbers do not: the
-    gate fails when a measured speedup falls more than ``--max-regression``
-    below the committed baseline's.
+    The single source of truth for the lp.batch benchmark protocol, shared
+    by ``repro bench --suite lp-batch`` and
+    ``benchmarks/test_bench_lp_batch.py`` (which asserts the acceptance
+    floors against exactly these numbers):
+
+    * ``lp_batch_e2e`` — the 30×30 random-weight torus averaging run
+      (R=1; every view is a distinct canonical class, so the engine
+      really solves 900 local LPs) under ``lp_strategy="per-lp"`` vs
+      ``"stacked"``.  Both engines share one warmed
+      :class:`~repro.canon.labeling.CanonicalIndex` (labelings are pure
+      functions of the view, so sharing never changes a result) so the
+      comparison isolates the solve side.
+    * ``lp_batch_bisection`` — a 500-probe feasibility sweep
+      (:func:`repro.lp.maxmin._packing_feasible_for_targets`-shaped
+      geometric target grid) solved per-LP vs stacked in chunks.
     """
-    rows = bench_measurements(not args.full, args.repeats)
-    e2e, balls = rows["e2e"], rows["balls"]
-    _print(
-        "BENCH: vectorized views pipeline"
-        + (" (quick mode)" if rows["quick"] else ""),
-        render_rows(
+    import numpy as np
+
+    from .canon.labeling import CanonicalIndex
+    from .lp.batch import BatchSolveStats, solve_lp_batch
+    from .lp.maxmin import _interpret_probe, _packing_probe_lp
+
+    e2e_shape = (16, 16) if quick else (30, 30)
+    n_probes = 120 if quick else 500
+
+    problem = grid_instance(e2e_shape, torus=True, weights="random", seed=0)
+    shared_index = CanonicalIndex()
+    warmup = BatchSolver(cache=ResultCache(), canon_index=shared_index)
+    local_averaging_solution(problem, 1, engine=warmup)
+
+    seconds = {"per-lp": float("inf"), "stacked": float("inf")}
+    for _ in range(repeats):
+        for strategy in ("per-lp", "stacked"):
+            engine = BatchSolver(
+                cache=ResultCache(),
+                lp_strategy=strategy,
+                lp_chunk_size=150,
+                canon_index=shared_index,
+            )
+            start = time.perf_counter()
+            local_averaging_solution(problem, 1, engine=engine)
+            seconds[strategy] = min(
+                seconds[strategy], time.perf_counter() - start
+            )
+
+    probe_problem = cycle_instance(16)
+    targets = np.linspace(0.05, 2.0, n_probes)
+    per_lp_s = stacked_s = float("inf")
+    stacked_calls = 0
+    for _ in range(repeats):
+        lps = [_packing_probe_lp(probe_problem, float(t)) for t in targets]
+        start = time.perf_counter()
+        per_lp = solve_lp_batch(lps, strategy="per-lp")
+        per_lp_s = min(per_lp_s, time.perf_counter() - start)
+        stats = BatchSolveStats()
+        start = time.perf_counter()
+        stacked = solve_lp_batch(
+            lps, strategy="stacked", chunk_size=50, stats=stats
+        )
+        stacked_s = min(stacked_s, time.perf_counter() - start)
+        stacked_calls = stats.stacked_calls
+        if [_interpret_probe(r)[0] for r in per_lp] != [
+            _interpret_probe(r)[0] for r in stacked
+        ]:  # pragma: no cover - would indicate a solver bug
+            raise SystemExit("lp-batch bench: probe outcomes diverged")
+
+    return {
+        "quick": quick,
+        "lp_batch_e2e": {
+            "shape": list(e2e_shape),
+            "R": 1,
+            "per_lp_seconds": round(seconds["per-lp"], 4),
+            "stacked_seconds": round(seconds["stacked"], 4),
+            "speedup": round(seconds["per-lp"] / seconds["stacked"], 2),
+        },
+        "lp_batch_bisection": {
+            "probes": int(n_probes),
+            "per_lp_seconds": round(per_lp_s, 4),
+            "stacked_seconds": round(stacked_s, 4),
+            "highs_calls": int(stacked_calls),
+            "speedup": round(per_lp_s / stacked_s, 2),
+        },
+    }
+
+
+#: Sections of the bench JSON that carry a speedup the ``--compare`` gate
+#: judges, with their display labels.
+_BENCH_SECTIONS = {
+    "e2e": "local_averaging share_orbits e2e",
+    "balls": "batch ball extraction",
+    "lp_batch_e2e": "batched LP solving e2e (averaging)",
+    "lp_batch_bisection": "batched feasibility-probe sweep",
+}
+
+
+def run_bench(args: argparse.Namespace) -> int:
+    """Run the selected benchmark suite(s); optionally gate on a baseline.
+
+    Regressions are judged on *speedups* (baseline strategy over batched
+    strategy), which transfer across machines where absolute wall-clock
+    numbers do not: the gate fails when a measured speedup falls more than
+    ``--max-regression`` below the committed baseline's.  The gate covers
+    every section present in both the baseline file and this run, so one
+    command serves the views suite (``benchmarks/BENCH_views_baseline.json``)
+    and the lp-batch suite (``benchmarks/BENCH_lp_batch_baseline.json``).
+    """
+    quick = not args.full
+    rows: Dict[str, object] = {"quick": quick}
+    display: List[Dict[str, object]] = []
+    if args.suite in ("views", "all"):
+        measured = bench_measurements(quick, args.repeats)
+        rows.update(measured)
+        e2e, balls = measured["e2e"], measured["balls"]
+        display.extend(
             [
                 {
-                    "benchmark": "local_averaging share_orbits e2e",
+                    "benchmark": _BENCH_SECTIONS["e2e"],
                     "instance": f"torus {tuple(e2e['shape'])} R={e2e['R']}",
-                    "scalar_s": e2e["scalar_seconds"],
-                    "vectorized_s": e2e["vectorized_seconds"],
+                    "baseline_s": e2e["scalar_seconds"],
+                    "batched_s": e2e["vectorized_seconds"],
                     "speedup": e2e["speedup"],
                 },
                 {
-                    "benchmark": "batch ball extraction",
+                    "benchmark": _BENCH_SECTIONS["balls"],
                     "instance": f"torus {tuple(balls['shape'])} R={balls['R']}",
-                    "scalar_s": balls["scalar_seconds"],
-                    "vectorized_s": balls["batch_seconds"],
+                    "baseline_s": balls["scalar_seconds"],
+                    "batched_s": balls["batch_seconds"],
                     "speedup": balls["speedup"],
                 },
             ]
-        ),
+        )
+    if args.suite in ("lp-batch", "all"):
+        measured = lp_batch_measurements(quick, args.repeats)
+        rows.update({k: v for k, v in measured.items() if k != "quick"})
+        e2e = measured["lp_batch_e2e"]
+        probes = measured["lp_batch_bisection"]
+        display.extend(
+            [
+                {
+                    "benchmark": _BENCH_SECTIONS["lp_batch_e2e"],
+                    "instance": f"random torus {tuple(e2e['shape'])} R={e2e['R']}",
+                    "baseline_s": e2e["per_lp_seconds"],
+                    "batched_s": e2e["stacked_seconds"],
+                    "speedup": e2e["speedup"],
+                },
+                {
+                    "benchmark": _BENCH_SECTIONS["lp_batch_bisection"],
+                    "instance": f"cycle16 × {probes['probes']} probes",
+                    "baseline_s": probes["per_lp_seconds"],
+                    "batched_s": probes["stacked_seconds"],
+                    "speedup": probes["speedup"],
+                },
+            ]
+        )
+    _print(
+        f"BENCH: {args.suite} suite" + (" (quick mode)" if quick else ""),
+        render_rows(display),
     )
 
     if args.out:
@@ -443,19 +573,26 @@ def run_bench(args: argparse.Namespace) -> int:
                 "speedups are only comparable at matching instance sizes"
             )
         failures = []
-        for section in ("e2e", "balls"):
+        gated = False
+        for section in _BENCH_SECTIONS:
             reference = baseline.get(section, {}).get("speedup")
-            if reference is None:
+            if reference is None or section not in rows:
                 continue
+            gated = True
             floor = reference * (1.0 - args.max_regression)
-            measured = rows[section]["speedup"]
-            status = "ok" if measured >= floor else "REGRESSION"
+            measured_speedup = rows[section]["speedup"]
+            status = "ok" if measured_speedup >= floor else "REGRESSION"
             print(
-                f"{section}: speedup {measured:.2f}x vs baseline "
+                f"{section}: speedup {measured_speedup:.2f}x vs baseline "
                 f"{reference:.2f}x (floor {floor:.2f}x) -> {status}"
             )
-            if measured < floor:
+            if measured_speedup < floor:
                 failures.append(section)
+        if not gated:
+            raise SystemExit(
+                f"baseline {baseline_path} shares no benchmark sections with "
+                f"this run's suite ({args.suite}); pass the matching --suite"
+            )
         if failures:
             raise SystemExit(
                 f"benchmark regression (> {args.max_regression:.0%}) in: "
@@ -561,6 +698,8 @@ def run_suite_cmd(args: argparse.Namespace) -> int:
         cache=cache,
         registry=registry,
         share_orbits=args.share_orbits,
+        lp_strategy=args.lp_strategy,
+        lp_chunk_size=args.lp_chunk_size,
     )
 
     done = [0]
@@ -682,7 +821,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser(
         "bench",
-        help="run the views-pipeline benchmark set (quick mode by default)",
+        help="run a benchmark suite (views pipeline / batched LP solving)",
+    )
+    sp.add_argument(
+        "--suite",
+        choices=["views", "lp-batch", "all"],
+        default="views",
+        help="which benchmark suite to measure (default views)",
     )
     sp.add_argument(
         "--full",
@@ -763,6 +908,21 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="solve one local LP per view-equivalence class (bit-identical, "
         "much faster on symmetric families)",
+    )
+    sp_run.add_argument(
+        "--lp-strategy",
+        choices=list(BATCH_STRATEGIES),
+        default="per-lp",
+        help="how cache-miss LP batches reach the solver: 'per-lp' "
+        "(default, bit-identical to the historical engine) or "
+        "'stacked'/'auto' (one block-diagonal HiGHS call per chunk — same "
+        "optima, far fewer solver round-trips)",
+    )
+    sp_run.add_argument(
+        "--lp-chunk-size",
+        type=int,
+        default=64,
+        help="LPs per batched solver submission (default 64)",
     )
     sp_run.add_argument(
         "--cache-dir",

@@ -22,9 +22,19 @@ from .local_averaging import (
     solve_local_lp,
     solve_local_lp_batch,
 )
-from .optimal import OptimalSolution, optimal_objective, optimal_solution
+from .optimal import (
+    OptimalSolution,
+    optimal_objective,
+    optimal_solution,
+    optimal_solution_batch,
+)
 from .problem import Agent, Beneficiary, DegreeBounds, MaxMinLP, MaxMinLPBuilder, Resource
-from .safe import safe_approximation_guarantee, safe_solution, safe_value
+from .safe import (
+    safe_approximation_guarantee,
+    safe_solution,
+    safe_value,
+    safe_values_array,
+)
 from .solution import SolutionReport, approximation_ratio, evaluate_solution
 
 __all__ = [
@@ -39,8 +49,10 @@ __all__ = [
     "evaluate_solution",
     "safe_solution",
     "safe_value",
+    "safe_values_array",
     "safe_approximation_guarantee",
     "optimal_solution",
+    "optimal_solution_batch",
     "optimal_objective",
     "OptimalSolution",
     "LocalAveragingResult",

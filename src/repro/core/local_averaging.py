@@ -36,6 +36,14 @@ in both implementations, which is what makes them exactly interchangeable.
 The message-passing version that runs on the synchronous simulator is
 :class:`repro.distributed.programs.LocalAveragingProgram` and is checked
 against this implementation in the integration tests.
+
+The solve side of step 1 flows engine → canon → views → **lp.batch**:
+views are canonicalised in batch (:mod:`repro.views`), cache-miss
+canonical representatives compile to sparse Section 1.3 reductions, and
+the engine submits them to :mod:`repro.lp.batch` in deterministic chunks —
+one block-diagonal HiGHS call per chunk under
+``BatchSolver(lp_strategy="stacked")``, a bit-identical per-LP loop under
+the default strategy.
 """
 
 from __future__ import annotations
@@ -154,19 +162,33 @@ def solve_local_lp(
     return solution
 
 
+#: reduceat sentinel per reduction: the ufunc's identity, so the last
+#: non-empty segment may harmlessly include it.
+_REDUCE_IDENTITY = {np.minimum: np.inf, np.maximum: -np.inf, np.add: 0.0}
+
+
 def _segment_reduce(
     ufunc: np.ufunc, values: np.ndarray, indptr: np.ndarray, empty: float
 ) -> np.ndarray:
     """Per-segment ``ufunc.reduceat`` with a fill value for empty segments.
 
-    ``reduceat`` misreads an empty segment's start index as a singleton, so
-    the starts are clipped into range and the empty slots overwritten.
+    ``reduceat`` misreads an empty segment's start index as a singleton,
+    and a *trailing* empty segment's start (``values.size``) would be out
+    of range outright.  Appending the ufunc's identity as a sentinel makes
+    every start valid without clipping — each non-empty segment reduces
+    over exactly its own entries (the last also folds in the identity, a
+    no-op) — and the empty slots are overwritten with ``empty`` after.
     """
     counts = np.diff(indptr)
     if values.size == 0:
         return np.full(counts.size, empty, dtype=np.float64)
-    idx = np.minimum(indptr[:-1], values.size - 1)
-    out = ufunc.reduceat(values.astype(np.float64, copy=False), idx)
+    extended = np.concatenate(
+        [
+            values.astype(np.float64, copy=False),
+            [_REDUCE_IDENTITY[ufunc]],
+        ]
+    )
+    out = ufunc.reduceat(extended, np.asarray(indptr[:-1], dtype=np.int64))
     out[counts == 0] = empty
     return out
 

@@ -9,13 +9,18 @@ module simply exposes it with the package's problem/solution types.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Sequence
 
 from ..lp.backends import DEFAULT_BACKEND
 from ..lp.maxmin import solve_max_min
 from .problem import Agent, MaxMinLP
 
-__all__ = ["OptimalSolution", "optimal_solution", "optimal_objective"]
+__all__ = [
+    "OptimalSolution",
+    "optimal_solution",
+    "optimal_solution_batch",
+    "optimal_objective",
+]
 
 
 @dataclass(frozen=True)
@@ -46,6 +51,33 @@ def optimal_solution(
     return OptimalSolution(
         objective=result.objective, x=result.x, backend=result.backend
     )
+
+
+def optimal_solution_batch(
+    problems: Sequence[MaxMinLP],
+    *,
+    backend: str = DEFAULT_BACKEND,
+    engine=None,
+) -> List[OptimalSolution]:
+    """Global optima of a batch of instances through one engine submission.
+
+    The sweep-shaped counterpart of :func:`optimal_solution`: all reference
+    optima travel as a single :meth:`repro.engine.BatchSolver.solve_maxmin_batch`
+    request, so duplicate instances dedup, a warm cache answers without LP
+    work, and an engine configured with a batched
+    :mod:`repro.lp.batch` strategy stacks the reductions into a handful of
+    HiGHS calls.  Defaults to the process-wide engine.
+    """
+    from ..engine.executor import get_default_engine
+
+    eng = engine if engine is not None else get_default_engine()
+    results = eng.solve_maxmin_batch(list(problems), backend=backend)
+    return [
+        OptimalSolution(
+            objective=result.objective, x=result.x, backend=result.backend
+        )
+        for result in results
+    ]
 
 
 def optimal_objective(problem: MaxMinLP, *, backend: str = DEFAULT_BACKEND) -> float:

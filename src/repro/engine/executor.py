@@ -13,21 +13,30 @@ solves from the analysis sweeps — and it
 2. **consults the cache** (:mod:`repro.engine.cache`) and only keeps the
    units whose fingerprints have never been solved — for canonical local
    LPs the disk tier is therefore shared across isomorphic instances;
-3. **fans the remainder** across a ``concurrent.futures`` thread or process
-   pool (``mode="thread"`` / ``"process"``), falling back to in-process
-   serial execution when ``mode="serial"``, when the batch is trivial, or
-   when the platform refuses to spawn workers;
+3. **compiles the remainder to sparse reductions and batches them**
+   through :mod:`repro.lp.batch`: cache misses are chunked
+   deterministically and each chunk is one batched LP submission — a
+   single block-diagonal HiGHS call under the ``"stacked"`` strategy, a
+   per-LP loop under the default ``"per-lp"`` strategy.  Chunks fan across
+   a ``concurrent.futures`` thread or process pool (``mode="thread"`` /
+   ``"process"``) carrying only raw CSR buffers — never pickled
+   ``MaxMinLP`` objects — and fall back to in-process serial execution
+   when ``mode="serial"``, when the batch is trivial, or when the
+   platform refuses to spawn workers;
 4. **collects** results in submission order, stores them in the cache and
    optionally records per-unit timings in a :class:`~repro.engine.jobs.RunRegistry`.
 
 Execution mode never changes the numbers: results are produced by the same
-backend on the same canonical subproblems, so serial, pooled and cache-warm
-runs return bit-identical objectives (the test suite asserts this).  The
-one knob that *does* select among equally optimal vertices is
-``canonical_local``: the default canonical path and the legacy raw path
-hand the solver differently ordered (isomorphic) matrices, so their
-solution vectors may differ on degenerate local LPs while the optimal
-values agree.
+backend on the same canonical subproblems in the same deterministic chunks,
+so serial, pooled and cache-warm runs return bit-identical objectives (the
+test suite asserts this).  Two knobs *do* select among equally optimal
+vertices: ``canonical_local`` (the default canonical path and the legacy
+raw path hand the solver differently ordered isomorphic matrices) and
+``lp_strategy`` (the opt-in ``"stacked"`` strategy solves whole chunks in
+one block-diagonal HiGHS call, whose vertex choice on degenerate LPs
+depends on batch composition; the default ``"per-lp"`` is bit-identical to
+the historical per-call engine).  Optimal *values* agree across all of
+them to solver tolerance.
 
 A process-wide default engine (serial, in-memory cache) is available via
 :func:`get_default_engine`; the algorithm entry points use it when no
@@ -55,15 +64,25 @@ from typing import (
     Tuple,
 )
 
+import numpy as np
+
 from ..core.problem import Agent, MaxMinLP
+from ..exceptions import InfeasibleError, SolverError, UnboundedError
 from ..io import solution_from_dict, solution_to_dict
 from ..lp.backends import DEFAULT_BACKEND
-from ..lp.maxmin import MaxMinSolveResult, solve_max_min
+from ..lp.batch import BATCH_STRATEGIES, BatchSolveStats
+from ..lp.maxmin import (
+    CompiledMaxMin,
+    MaxMinSolveResult,
+    solve_maxmin_buffer_batch,
+)
+from ..lp.standard import LPStatus
 from .cache import ResultCache
 from .fingerprint import (
     fingerprint_canonical_requests,
     fingerprint_instance,
     fingerprint_request,
+    fingerprint_view_requests,
 )
 from .jobs import JobRecord, RunRegistry
 
@@ -134,33 +153,59 @@ class EngineStats:
 
 
 # ----------------------------------------------------------------------
-# Worker functions (module level so process pools can pickle them).
-# Each returns (JSON-encodable payload, solve duration in seconds).
+# Solve units and the chunk worker (module level so process pools can
+# pickle it).  A unit is one max-min reduction plus the identifier list
+# needed to key its payload; only the *compiled* CSR buffers travel to
+# workers -- a process pool ships a handful of numpy arrays per unit, not
+# a pickled :class:`MaxMinLP` with its coefficient dictionaries and
+# support sets.
 # ----------------------------------------------------------------------
-def _solve_local_unit(args: Tuple[MaxMinLP, str]) -> Tuple[Dict[str, Any], float]:
-    """Solve one local subproblem; all-zero solution when ``K^u`` is empty."""
-    sub, backend = args
-    start = time.perf_counter()
-    if sub.n_beneficiaries == 0 or sub.n_agents == 0:
-        x: Dict[Agent, float] = {v: 0.0 for v in sub.agents}
-    else:
-        x = dict(solve_max_min(sub, backend=backend).x)
-    objective = sub.objective(sub.to_array(x))
-    payload = {"x": solution_to_dict(x), "objective": float(objective)}
-    return payload, time.perf_counter() - start
+@dataclass
+class _SolveUnit:
+    """One pending solve: compiled matrices + the agent identifiers."""
+
+    agents: Tuple[Agent, ...]
+    compiled: CompiledMaxMin
+
+    @classmethod
+    def from_problem(cls, problem: MaxMinLP) -> "_SolveUnit":
+        return cls(agents=problem.agents, compiled=CompiledMaxMin.from_problem(problem))
+
+    @classmethod
+    def of(cls, built) -> "_SolveUnit":
+        """Normalise a builder's output (unit, problem or compiled matrices).
+
+        Canonical local LPs arrive as bare :class:`CompiledMaxMin`
+        matrices -- their agents are the canonical positions ``0..n-1`` by
+        construction, so no :class:`MaxMinLP` (with its identifier maps and
+        support sets) is ever assembled for them.
+        """
+        if isinstance(built, cls):
+            return built
+        if isinstance(built, CompiledMaxMin):
+            return cls(agents=tuple(range(built.n_agents)), compiled=built)
+        return cls.from_problem(built)
 
 
-def _solve_maxmin_unit(args: Tuple[MaxMinLP, str]) -> Tuple[Dict[str, Any], float]:
-    """Solve one whole instance exactly through the LP reduction."""
-    problem, backend = args
+def _solve_compiled_chunk(
+    args: Tuple[List[Tuple], str, str],
+) -> Tuple[List[Tuple[str, Optional[Any]]], float, Dict[str, int]]:
+    """Solve one chunk of compiled reductions as a single batched submission.
+
+    ``args`` is ``(unit_buffers, backend, strategy)`` where each entry of
+    ``unit_buffers`` is :meth:`repro.lp.maxmin.CompiledMaxMin.to_buffers`
+    output.  Returns ``(status_name, x_vector)`` per unit plus the chunk's
+    solve duration and its solver counters (as a plain dict so they travel
+    home from worker processes); interpretation of statuses (and all
+    identifier work) stays in the parent process.
+    """
+    unit_buffers, backend, strategy = args
+    stats = BatchSolveStats()
     start = time.perf_counter()
-    result = solve_max_min(problem, backend=backend)
-    payload = {
-        "objective": float(result.objective),
-        "x": solution_to_dict(result.x),
-        "backend": result.backend,
-    }
-    return payload, time.perf_counter() - start
+    results = solve_maxmin_buffer_batch(
+        unit_buffers, backend=backend, strategy=strategy, stats=stats
+    )
+    return results, time.perf_counter() - start, stats.as_dict()
 
 
 class BatchSolver:
@@ -171,7 +216,11 @@ class BatchSolver:
     mode:
         ``"serial"`` (default), ``"thread"`` or ``"process"``.  Thread pools
         help because SciPy's HiGHS backend releases the GIL; process pools
-        sidestep the GIL entirely at the cost of pickling the subproblems.
+        sidestep the GIL entirely -- and since the engine fans out
+        *compiled CSR buffers* (raw arrays), not pickled
+        :class:`~repro.core.problem.MaxMinLP` objects, shipping a chunk
+        costs a memcpy per matrix rather than a coefficient-dictionary
+        round-trip.
     max_workers:
         Pool size (``None`` lets ``concurrent.futures`` choose).
     cache:
@@ -181,6 +230,23 @@ class BatchSolver:
     registry:
         Optional :class:`~repro.engine.jobs.RunRegistry` that receives one
         :class:`~repro.engine.jobs.JobRecord` per de-duplicated unit.
+    lp_strategy:
+        How each batch of pending LPs is handed to the solver (see
+        :mod:`repro.lp.batch`).  The default ``"per-lp"`` issues one HiGHS
+        call per LP and is bit-identical to the historical engine --
+        including across cache states, which is what keeps every
+        cross-path identity of the reproduction exact.  ``"stacked"`` /
+        ``"auto"`` solve each chunk block-diagonally in a single HiGHS
+        call: same statuses and optimal values, but degenerate LPs may
+        return a different equally-optimal vertex depending on batch
+        composition, so it is the opt-in throughput path (benchmarks, the
+        suite runner's ``--lp-strategy`` flag) rather than the default.
+    lp_chunk_size:
+        Pending units per batched submission.  Chunk boundaries are a pure
+        function of the deduplicated submission order -- never of the
+        execution mode or worker count -- so serial, thread and process
+        runs of the same batch produce identical results even under
+        ``"stacked"``.
     """
 
     def __init__(
@@ -191,6 +257,9 @@ class BatchSolver:
         cache: Optional[ResultCache] = None,
         registry: Optional[RunRegistry] = None,
         canonical_local: bool = True,
+        lp_strategy: str = "per-lp",
+        lp_chunk_size: int = 64,
+        canon_index=None,
     ) -> None:
         if mode not in EXECUTION_MODES:
             raise ValueError(
@@ -198,13 +267,27 @@ class BatchSolver:
             )
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        if lp_strategy not in BATCH_STRATEGIES:
+            raise ValueError(
+                f"unknown lp_strategy {lp_strategy!r}; expected one of "
+                f"{BATCH_STRATEGIES}"
+            )
+        if lp_chunk_size < 1:
+            raise ValueError("lp_chunk_size must be at least 1")
         self.mode = mode
         self.max_workers = max_workers
         self.cache = cache
         self.registry = registry
         self.canonical_local = canonical_local
+        self.lp_strategy = lp_strategy
+        self.lp_chunk_size = lp_chunk_size
         self.stats = EngineStats()
-        self._canon_index = None  # lazily built repro.canon CanonicalIndex
+        self.lp_stats = BatchSolveStats()
+        # Lazily built repro.canon CanonicalIndex; a shared index may be
+        # injected (labelings are pure functions of the view, so sharing
+        # one index across engines never changes a result -- it only lets
+        # them skip re-searching classes the other has canonicalised).
+        self._canon_index = canon_index
 
     def canon_index(self):
         """The engine's :class:`~repro.canon.labeling.CanonicalIndex` (lazy)."""
@@ -248,21 +331,57 @@ class BatchSolver:
     # ------------------------------------------------------------------
     # Batched solves
     # ------------------------------------------------------------------
+    def _strategy_for(self, backend: str) -> str:
+        """The batch strategy to use for ``backend`` requests.
+
+        A strategy tied to the *other* backend degrades to ``"auto"``
+        (which resolves to that backend's native batched path) instead of
+        erroring, so one engine can serve mixed-backend suites.
+        """
+        strategy = self.lp_strategy
+        if strategy == "stacked" and backend != "scipy":
+            return "auto"
+        if strategy == "grouped" and backend != "simplex":
+            return "auto"
+        return strategy
+
+    def _request_params(self, backend: str) -> Optional[Dict[str, str]]:
+        """Extra request-fingerprint params tying cached vectors to a strategy.
+
+        Per-LP results are a pure function of (instance, algorithm,
+        backend) — their keys stay exactly the historical ones, so every
+        legacy cache-sharing guarantee is preserved.  The batched
+        strategies may pick a different equally-optimal vertex per batch
+        composition, so their payloads are keyed apart: a cache warmed by
+        a ``"stacked"`` engine can never answer a ``"per-lp"`` engine
+        (whose results are promised bit-identical to the historical path,
+        including across cache states), and vice versa.
+        """
+        strategy = self._strategy_for(backend)
+        if strategy == "per-lp":
+            return None
+        return {"lp_strategy": strategy}
+
     def _run_requests(
         self,
         keys: Sequence[str],
-        builders: Sequence[Callable[[], MaxMinLP]],
+        builders: Sequence[Callable[[], Any]],
         *,
         kind: str,
         backend: str,
-        worker: Callable[[Tuple[MaxMinLP, str]], Tuple[Dict[str, Any], float]],
     ) -> List[Dict[str, Any]]:
-        """Dedup → cache → fan out; returns payloads in submission order.
+        """Dedup → cache → compile → batched fan-out, in submission order.
 
-        ``builders`` produce the problems to solve; they are only invoked
-        for cache misses, so a batch answered entirely from the cache never
-        compiles a single instance (this matters for the canonical path,
-        where building a unit means assembling a fresh ``MaxMinLP``).
+        ``builders`` produce the solve units (a :class:`MaxMinLP`, a
+        :class:`~repro.canon.labeling.CanonicalForm`, or a pre-built
+        :class:`_SolveUnit`); they are only invoked for cache misses, so a
+        batch answered entirely from the cache never compiles a single
+        instance.  Cache misses are compiled to sparse reductions, chunked
+        deterministically (chunks are a function of the deduplicated key
+        order only) and solved as batched LP submissions -- one
+        :func:`repro.lp.batch.solve_lp_batch` call per chunk, fanned over
+        the worker pool in pooled modes with raw CSR buffers as the only
+        payload.
         """
         self.stats.batches += 1
         self.stats.units += len(keys)
@@ -272,7 +391,7 @@ class BatchSolver:
         self.stats.dedup_saved += len(keys) - len(first_index)
 
         results: Dict[str, Dict[str, Any]] = {}
-        pending: List[Tuple[str, MaxMinLP]] = []
+        pending: List[Tuple[str, _SolveUnit]] = []
         for key, idx in first_index.items():
             cached = self.cache.get(key, _MISSING) if self.cache is not None else _MISSING
             if cached is not _MISSING:
@@ -281,7 +400,7 @@ class BatchSolver:
                     record = self.registry.new_job(kind, key)
                     self.registry.finish_job(record, cached=True)
             else:
-                pending.append((key, builders[idx]()))
+                pending.append((key, _SolveUnit.of(builders[idx]())))
 
         if pending:
             records: List[Optional[JobRecord]] = [
@@ -289,7 +408,9 @@ class BatchSolver:
                 for key, _ in pending
             ]
             try:
-                outcomes = self.map(worker, [(p, backend) for _, p in pending])
+                outcomes = self._solve_pending(
+                    [unit for _, unit in pending], kind=kind, backend=backend
+                )
             except Exception as exc:
                 if self.registry is not None:
                     for record in records:
@@ -307,6 +428,121 @@ class BatchSolver:
                     self.registry.finish_job(record, duration_s=duration)
 
         return [results[key] for key in keys]
+
+    def _solve_pending(
+        self,
+        units: Sequence[_SolveUnit],
+        *,
+        kind: str,
+        backend: str,
+    ) -> List[Tuple[Dict[str, Any], float]]:
+        """Solve cache-miss units; returns ``(payload, duration)`` per unit.
+
+        Degenerate units (an empty view's vacuous local LP, a whole
+        instance without beneficiaries) are resolved in-process before any
+        LP is compiled -- exactly the checks the per-unit solvers used to
+        make, hoisted ahead of the batch so a bad unit fails before work is
+        spent.  The remaining units compile to sparse reductions and run
+        through :func:`_solve_compiled_chunk`, ``lp_chunk_size`` at a time,
+        via :meth:`map` (so pool fallback behaviour is shared with every
+        other engine code path).
+        """
+        exact = kind == "maxmin_exact"
+        payloads: List[Optional[Tuple[Dict[str, Any], float]]] = [None] * len(units)
+        solve_indices: List[int] = []
+        for idx, unit in enumerate(units):
+            compiled = unit.compiled
+            if exact and compiled.n_beneficiaries == 0:
+                raise UnboundedError(
+                    "the max-min objective is unbounded when there are no "
+                    "beneficiaries"
+                )
+            if exact and compiled.n_agents == 0:
+                payloads[idx] = (
+                    {"objective": 0.0, "x": solution_to_dict({}), "backend": backend},
+                    0.0,
+                )
+            elif not exact and (
+                compiled.n_beneficiaries == 0 or compiled.n_agents == 0
+            ):
+                zeros = {v: 0.0 for v in unit.agents}
+                objective = compiled.objective(np.zeros(compiled.n_agents))
+                payloads[idx] = (
+                    {"x": solution_to_dict(zeros), "objective": float(objective)},
+                    0.0,
+                )
+            else:
+                solve_indices.append(idx)
+
+        if solve_indices:
+            strategy = self._strategy_for(backend)
+            chunk = self.lp_chunk_size
+            chunks = [
+                solve_indices[s: s + chunk]
+                for s in range(0, len(solve_indices), chunk)
+            ]
+            chunk_args = [
+                (
+                    [units[idx].compiled.to_buffers() for idx in chunk_ids],
+                    backend,
+                    strategy,
+                )
+                for chunk_ids in chunks
+            ]
+            chunk_outcomes = self.map(_solve_compiled_chunk, chunk_args)
+            for chunk_ids, (statuses, duration, chunk_stats) in zip(
+                chunks, chunk_outcomes
+            ):
+                for name, value in chunk_stats.items():
+                    setattr(
+                        self.lp_stats, name, getattr(self.lp_stats, name) + value
+                    )
+                share = duration / len(chunk_ids) if chunk_ids else 0.0
+                for idx, (status_name, x_vec) in zip(chunk_ids, statuses):
+                    payloads[idx] = (
+                        self._interpret_unit(
+                            units[idx], status_name, x_vec, kind=kind, backend=backend
+                        ),
+                        share,
+                    )
+        return payloads  # type: ignore[return-value]
+
+    @staticmethod
+    def _interpret_unit(
+        unit: _SolveUnit,
+        status_name: str,
+        x_vec: Optional[np.ndarray],
+        *,
+        kind: str,
+        backend: str,
+    ) -> Dict[str, Any]:
+        """Turn one solved reduction into its cacheable JSON payload.
+
+        Status interpretation matches :func:`repro.lp.maxmin.solve_max_min`
+        exactly: unbounded/infeasible reductions raise, anything else
+        non-optimal is a backend failure.
+        """
+        status = LPStatus(status_name)
+        if status is LPStatus.UNBOUNDED:
+            raise UnboundedError("max-min LP reduction reported unbounded")
+        if status is LPStatus.INFEASIBLE:
+            raise InfeasibleError("max-min LP reduction reported infeasible")
+        if status is not LPStatus.OPTIMAL or x_vec is None:
+            raise SolverError(f"LP backend {backend!r} failed: {status}")
+        x_vec = np.asarray(x_vec, dtype=np.float64)
+        omega = float(x_vec[-1])
+        activities = np.clip(x_vec[:-1], 0.0, None)
+        x = {
+            agent: float(activities[j]) for j, agent in enumerate(unit.agents)
+        }
+        if kind == "maxmin_exact":
+            return {
+                "objective": omega,
+                "x": solution_to_dict(x),
+                "backend": backend,
+            }
+        objective = unit.compiled.objective(activities)
+        return {"x": solution_to_dict(x), "objective": float(objective)}
 
     def solve_subproblems(
         self,
@@ -339,8 +575,11 @@ class BatchSolver:
                 )
                 for form, outcome in zip(forms, canonical)
             ]
+        params = self._request_params(backend)
         keys = [
-            fingerprint_request(problem, "local_lp", backend=backend)
+            fingerprint_request(
+                problem, "local_lp", backend=backend, params=params
+            )
             for problem in problems
         ]
         payloads = self._run_requests(
@@ -348,7 +587,6 @@ class BatchSolver:
             [lambda problem=problem: problem for problem in problems],
             kind="local_lp",
             backend=backend,
-            worker=_solve_local_unit,
         )
         return [
             LocalLPOutcome(
@@ -377,14 +615,15 @@ class BatchSolver:
         directly with one form per view orbit.
         """
         keys = fingerprint_canonical_requests(
-            [form.key for form in forms], backend=backend
+            [form.key for form in forms],
+            backend=backend,
+            params=self._request_params(backend),
         )
         payloads = self._run_requests(
             keys,
-            [form.problem for form in forms],
+            [form.compiled for form in forms],
             kind="local_lp_canon",
             backend=backend,
-            worker=_solve_local_unit,
         )
         return [
             LocalLPOutcome(
@@ -413,9 +652,12 @@ class BatchSolver:
 
         On the legacy literal path (``canonical_local=False``) each
         request is keyed by the *base* instance fingerprint — hashed once
-        per batch — plus the view's agent set, instead of re-serialising
-        every compiled subproblem; subproblems are built lazily, for cache
-        misses only.
+        per batch — plus the view's agent set (the whole key batch is
+        rendered from one request template,
+        :func:`repro.engine.fingerprint.fingerprint_view_requests`);
+        subproblems are built lazily, for cache misses only, through the
+        atlas's sliced extraction when one is supplied (identical
+        sub-instances either way — the views property tests assert it).
         """
         agents = list(views)
         if self.canonical_local:
@@ -433,25 +675,23 @@ class BatchSolver:
                 for u, form, outcome in zip(agents, forms, canonical)
             }
         base_fingerprint = fingerprint_instance(problem)
-        keys = [
-            fingerprint_request(
-                None,
-                "local_lp_view",
-                backend=backend,
-                params={"view": sorted(map(repr, views[u]))},
-                instance_fingerprint=base_fingerprint,
-            )
-            for u in agents
-        ]
+        keys = fingerprint_view_requests(
+            base_fingerprint,
+            [sorted(map(repr, views[u])) for u in agents],
+            backend=backend,
+            extra_params=self._request_params(backend),
+        )
+        if atlas is not None:
+            builders = [lambda u=u: atlas.subproblem(u) for u in agents]
+        else:
+            builders = [
+                lambda u=u: problem.local_subproblem(views[u]) for u in agents
+            ]
         payloads = self._run_requests(
             keys,
-            [
-                lambda u=u: problem.local_subproblem(views[u])
-                for u in agents
-            ],
+            builders,
             kind="local_lp",
             backend=backend,
-            worker=_solve_local_unit,
         )
         return {
             u: LocalLPOutcome(
@@ -475,8 +715,11 @@ class BatchSolver:
     ) -> List[MaxMinSolveResult]:
         """Exactly solve a batch of whole instances (sweep-style jobs)."""
         problems = list(problems)
+        params = self._request_params(backend)
         keys = [
-            fingerprint_request(problem, "maxmin_exact", backend=backend)
+            fingerprint_request(
+                problem, "maxmin_exact", backend=backend, params=params
+            )
             for problem in problems
         ]
         payloads = self._run_requests(
@@ -484,7 +727,6 @@ class BatchSolver:
             [lambda problem=problem: problem for problem in problems],
             kind="maxmin_exact",
             backend=backend,
-            worker=_solve_maxmin_unit,
         )
         return [
             MaxMinSolveResult(

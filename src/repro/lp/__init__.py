@@ -2,15 +2,32 @@
 
 Provides the LP description (:class:`LinearProgram`), the solver backends
 (SciPy/HiGHS and a from-scratch two-phase simplex), the Section 1.3 max-min
-reduction, a bisection solver based on feasibility subproblems and a
-multiplicative-weights approximate solver.
+reduction, a bisection solver based on feasibility subproblems, a
+multiplicative-weights approximate solver and the batched solving layer
+(:mod:`repro.lp.batch`): block-diagonal stacks solved in one HiGHS call,
+structure-grouped warm-started simplex solves, and the per-LP reference
+strategy the batched paths are validated against.
 """
 
-from .backends import DEFAULT_BACKEND, available_backends, solve_lp
+from .backends import (
+    DEFAULT_BACKEND,
+    available_backends,
+    count_highs_calls,
+    solve_lp,
+)
+from .batch import (
+    BATCH_STRATEGIES,
+    BatchSolveStats,
+    solve_lp_batch,
+    split_stacked_solution,
+    stack_block_diagonal,
+)
 from .maxmin import (
+    CompiledMaxMin,
     MaxMinSolveResult,
     maxmin_to_lp,
     solve_max_min,
+    solve_max_min_batch,
     solve_max_min_bisection,
 )
 from .mwu import MWUResult, mwu_feasibility, solve_max_min_mwu
@@ -24,10 +41,18 @@ __all__ = [
     "solve_lp",
     "solve_simplex",
     "available_backends",
+    "count_highs_calls",
     "DEFAULT_BACKEND",
+    "BATCH_STRATEGIES",
+    "BatchSolveStats",
+    "solve_lp_batch",
+    "stack_block_diagonal",
+    "split_stacked_solution",
+    "CompiledMaxMin",
     "MaxMinSolveResult",
     "maxmin_to_lp",
     "solve_max_min",
+    "solve_max_min_batch",
     "solve_max_min_bisection",
     "MWUResult",
     "mwu_feasibility",

@@ -189,6 +189,7 @@ def solve_simplex(lp: LinearProgram, *, max_iter: int = 20000) -> LPResult:
         :class:`LPStatus.ERROR` results rather than exceptions so that the
         caller can fall back to another backend.
     """
+    lp = lp.densified()  # the tableau kernel indexes dense rows directly
     try:
         A, b, c, recover, n_original = _to_standard_form(lp)
     except Exception:  # pragma: no cover - defensive

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 __all__ = ["LPStatus", "LPResult", "LinearProgram"]
 
@@ -63,16 +64,23 @@ class LPResult:
 
 @dataclass
 class LinearProgram:
-    """A dense linear program in minimisation form.
+    """A linear program in minimisation form (dense or sparse matrices).
 
     Parameters
     ----------
     c:
         Objective coefficients (length ``n``).
     A_ub, b_ub:
-        Inequality constraints ``A_ub x <= b_ub`` (may be ``None``).
+        Inequality constraints ``A_ub x <= b_ub`` (may be ``None``).  The
+        matrix may be a dense array *or* any :mod:`scipy.sparse` matrix;
+        sparse input is normalised to CSR and kept sparse end-to-end (the
+        local LPs of the paper are extremely sparse, and densifying them is
+        the O(n²) memory blow-up the batch layer exists to avoid).  Only
+        backends that genuinely need dense data (the from-scratch simplex)
+        densify, via :meth:`densified`.
     A_eq, b_eq:
-        Equality constraints ``A_eq x = b_eq`` (may be ``None``).
+        Equality constraints ``A_eq x = b_eq`` (may be ``None``); dense or
+        sparse, like ``A_ub``.
     bounds:
         Per-variable ``(lower, upper)`` bounds; ``None`` means unbounded in
         that direction.  Defaults to ``(0, None)`` for every variable.
@@ -85,20 +93,30 @@ class LinearProgram:
     b_eq: Optional[np.ndarray] = None
     bounds: Optional[List[Tuple[Optional[float], Optional[float]]]] = None
 
+    @staticmethod
+    def _as_matrix(matrix) -> "np.ndarray | sp.csr_matrix":
+        """Normalise a constraint matrix: CSR if sparse, float64 array if dense."""
+        if sp.issparse(matrix):
+            out = matrix.tocsr()
+            if out.dtype != np.float64:
+                out = out.astype(np.float64)
+            return out
+        return np.asarray(matrix, dtype=np.float64)
+
     def __post_init__(self) -> None:
         self.c = np.asarray(self.c, dtype=np.float64)
         if self.c.ndim != 1:
             raise ValueError("objective vector c must be one-dimensional")
         n = self.n_variables
         if self.A_ub is not None:
-            self.A_ub = np.asarray(self.A_ub, dtype=np.float64)
+            self.A_ub = self._as_matrix(self.A_ub)
             self.b_ub = np.asarray(self.b_ub, dtype=np.float64)
             if self.A_ub.ndim != 2 or self.A_ub.shape[1] != n:
                 raise ValueError("A_ub must have one column per variable")
             if self.b_ub.shape != (self.A_ub.shape[0],):
                 raise ValueError("b_ub length must match the rows of A_ub")
         if self.A_eq is not None:
-            self.A_eq = np.asarray(self.A_eq, dtype=np.float64)
+            self.A_eq = self._as_matrix(self.A_eq)
             self.b_eq = np.asarray(self.b_eq, dtype=np.float64)
             if self.A_eq.ndim != 2 or self.A_eq.shape[1] != n:
                 raise ValueError("A_eq must have one column per variable")
@@ -110,6 +128,30 @@ class LinearProgram:
             self.bounds = list(self.bounds)
             if len(self.bounds) != n:
                 raise ValueError("bounds must have one entry per variable")
+
+    @property
+    def is_sparse(self) -> bool:
+        """Whether any constraint matrix is stored sparse."""
+        return sp.issparse(self.A_ub) or sp.issparse(self.A_eq)
+
+    def densified(self) -> "LinearProgram":
+        """This LP with dense constraint matrices (``self`` if already dense).
+
+        The dense arrays hold exactly the same values as the sparse ones,
+        so a deterministic backend returns the same result either way; this
+        is the conversion point for backends (the from-scratch simplex)
+        that index rows of the matrices directly.
+        """
+        if not self.is_sparse:
+            return self
+        return LinearProgram(
+            c=self.c,
+            A_ub=self.A_ub.toarray() if sp.issparse(self.A_ub) else self.A_ub,
+            b_ub=self.b_ub,
+            A_eq=self.A_eq.toarray() if sp.issparse(self.A_eq) else self.A_eq,
+            b_eq=self.b_eq,
+            bounds=list(self.bounds),
+        )
 
     @property
     def n_variables(self) -> int:

@@ -43,7 +43,7 @@ from typing import (
 
 from ..core.local_averaging import local_averaging_solution
 from ..core.problem import MaxMinLP
-from ..core.safe import safe_approximation_guarantee, safe_solution
+from ..core.safe import safe_approximation_guarantee, safe_values_array
 from ..core.solution import approximation_ratio
 from ..engine.cache import ResultCache
 from ..engine.executor import BatchSolver
@@ -241,6 +241,15 @@ class SuiteRunner:
         (:mod:`repro.canon`): one local LP per view-equivalence class
         instead of one per agent.  Results are bit-identical either way;
         symmetric scenario families just finish sooner.
+    lp_strategy / lp_chunk_size:
+        Forwarded to :class:`~repro.engine.BatchSolver` when ``engine`` is
+        not supplied: how each batch of cache-miss LPs reaches the solver
+        (see :mod:`repro.lp.batch`).  The default ``"per-lp"`` keeps the
+        historical one-call-per-LP numbers bit for bit; ``"stacked"``
+        solves whole chunks block-diagonally in one HiGHS call per chunk
+        -- same optima and statuses, far fewer solver round-trips, at the
+        cost of degenerate LPs possibly picking different equally-optimal
+        vertices than the per-LP path would.
     """
 
     def __init__(
@@ -252,6 +261,8 @@ class SuiteRunner:
         cache: Optional[ResultCache] = None,
         registry: Optional[RunRegistry] = None,
         share_orbits: bool = False,
+        lp_strategy: str = "per-lp",
+        lp_chunk_size: int = 64,
     ) -> None:
         if engine is None:
             engine = BatchSolver(
@@ -259,6 +270,8 @@ class SuiteRunner:
                 max_workers=max_workers,
                 cache=cache if cache is not None else ResultCache(),
                 registry=registry,
+                lp_strategy=lp_strategy,
+                lp_chunk_size=lp_chunk_size,
             )
         self.engine = engine
         self.share_orbits = share_orbits
@@ -307,8 +320,9 @@ class SuiteRunner:
         for idx, (spec, problem) in enumerate(zip(scenarios, problems)):
             start = time.perf_counter()
             optimum = optima[idx]
-            safe_x = safe_solution(problem)
-            safe_objective = float(problem.objective(problem.to_array(safe_x)))
+            # One sparse pass for every agent's safe value; the dict form is
+            # never needed here, only the achieved objective.
+            safe_objective = float(problem.objective(safe_values_array(problem)))
             hypergraph = communication_hypergraph(problem) if spec.radii else None
             radius_results: List[RadiusResult] = []
             for R in spec.radii:

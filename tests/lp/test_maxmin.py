@@ -22,9 +22,12 @@ class TestReduction:
     def test_reduction_rows(self, tiny_instance):
         lp = maxmin_to_lp(tiny_instance)
         # First block: A x <= 1 (ω coefficient 0); second: ω - C x <= 0.
+        # The reduction is assembled sparse end-to-end.
+        assert lp.is_sparse
         assert lp.A_ub.shape == (2, 3)
-        np.testing.assert_allclose(lp.A_ub[0], [1.0, 1.0, 0.0])
-        np.testing.assert_allclose(lp.A_ub[1], [-1.0, -1.0, 1.0])
+        dense = lp.A_ub.toarray()
+        np.testing.assert_allclose(dense[0], [1.0, 1.0, 0.0])
+        np.testing.assert_allclose(dense[1], [-1.0, -1.0, 1.0])
         np.testing.assert_allclose(lp.b_ub, [1.0, 0.0])
 
     def test_reduction_optimum_matches_objective(self, asymmetric_instance):

@@ -32,6 +32,18 @@ def tiny_suite() -> SuiteSpec:
 
 
 class TestSuiteRunner:
+    def test_lp_strategy_forwarded_and_values_agree(self):
+        base = SuiteRunner().run_suite(tiny_suite())
+        stacked_runner = SuiteRunner(lp_strategy="stacked", lp_chunk_size=16)
+        assert stacked_runner.engine.lp_strategy == "stacked"
+        assert stacked_runner.engine.lp_chunk_size == 16
+        stacked = stacked_runner.run_suite(tiny_suite())
+        for a, b in zip(base.results, stacked.results):
+            # Optimal values are unique (unlike the solution vertices): the
+            # reference optimum and safe baseline must agree to tolerance.
+            assert b.optimum == pytest.approx(a.optimum, abs=1e-9)
+            assert b.safe_objective == pytest.approx(a.safe_objective, abs=1e-12)
+
     def test_streaming_yields_one_result_per_scenario(self):
         runner = SuiteRunner()
         stream = runner.run(tiny_suite())
