@@ -1,0 +1,102 @@
+"""Experiment SERVE -- the solver service under replayed request traffic.
+
+The :mod:`repro.serve` front end exists for one workload: many requests
+over few distinct scenarios, arriving concurrently.  This benchmark pins
+its acceptance criteria against a real :class:`~repro.serve.ReproServer`
+on an ephemeral port (stdlib HTTP stack end to end, shared disk cache):
+
+* **hit rate**: a Zipf-distributed replay (720 quick / 3000 full requests
+  over 12/24 distinct scenarios, 8 client threads) must answer at least
+  **98%** of requests without a solve;
+* **coalescing invariant**: 16 clients releasing one brand-new scenario
+  through a barrier must cost exactly **one** executed solve -- every
+  other request attaches to the in-flight solve or hits the cache;
+* **latency**: in full mode (misses are < 1% of the trace) the p99
+  request latency must stay under **250 ms** -- i.e. the tail is cache
+  traffic, not solver traffic;
+* **throughput**: replaying the trace through the service must beat
+  solving every request from scratch (the measured per-solve cost times
+  the request count) by at least **4x**.
+
+Timings delegate to :func:`repro.cli.serve_measurements` -- the same
+protocol ``repro bench --suite serve`` (and its CI regression gate against
+``BENCH_serve_baseline.json``) runs, so the two can never drift apart.
+Set ``REPRO_BENCH_QUICK=1`` for the CI smoke variant and
+``REPRO_BENCH_OUT=<path>`` to write the measured rows as JSON.
+
+This is an ablation of this reproduction's infrastructure, not a figure of
+the paper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import serve_measurements
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REPEATS = 3
+
+
+@pytest.fixture(scope="session")
+def measurements():
+    """Best-of-N replay timings via the shared CLI measurement protocol."""
+    return serve_measurements(QUICK, REPEATS)
+
+
+def test_serve_replay(measurements, report):
+    """Acceptance: >= 98% hit rate, >= 4x vs solve-every-request, p99 bound."""
+    replay = measurements["serve_replay"]
+    report(
+        "SERVE: Zipf traffic replay through the HTTP service"
+        + (" (quick mode)" if QUICK else ""),
+        (
+            f"{replay['requests']} requests over {replay['distinct']} distinct "
+            f"scenarios, {replay['client_threads']} client threads: "
+            f"hit rate {replay['hit_rate']:.2%}, "
+            f"p50 {replay['p50_ms']:.1f}ms, p99 {replay['p99_ms']:.1f}ms, "
+            f"replay {replay['replay_seconds']:.2f}s vs solve-everything "
+            f"{replay['solve_seconds'] * replay['requests']:.2f}s "
+            f"({replay['speedup']:.2f}x)"
+        ),
+    )
+    assert replay["hit_rate"] >= 0.98, (
+        "the Zipf replay must be answered almost entirely from the cache; "
+        f"measured hit rate {replay['hit_rate']:.2%}"
+    )
+    assert replay["speedup"] >= 4.0, (
+        "serving the trace must beat solving every request from scratch by "
+        f">= 4x; measured {replay['speedup']:.2f}x"
+    )
+    if not QUICK:
+        # In full mode misses are < 1% of the trace, so the 99th percentile
+        # must be cache-path latency, not a cold solve.
+        assert replay["p99_ms"] <= 250.0, (
+            "p99 request latency must stay on the cache path; measured "
+            f"{replay['p99_ms']:.1f}ms"
+        )
+
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        Path(out).write_text(json.dumps(measurements, indent=2))
+
+
+def test_serve_coalescing_invariant(measurements):
+    """Acceptance: N concurrent identical requests => exactly one solve."""
+    burst = measurements["serve_coalesce"]
+    assert burst["executed"] == 1, (
+        f"{burst['clients']} concurrent identical requests must collapse "
+        f"into exactly one executed solve; counted {burst['executed']}"
+    )
+    # Every client was answered: one solved it, the rest attached to the
+    # flight or (if they arrived after publication) hit the cache.
+    answered = sum(burst["sources"].values())
+    assert answered == burst["clients"]
+    assert burst["sources"].get("solved", 0) == 1
+    assert burst["coalesced"] + burst["sources"].get("cache", 0) == (
+        burst["clients"] - 1
+    )

@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Talk to the solver service: start it, solve, replay, stream, scrape.
+
+The serving layer (:mod:`repro.serve`) turns the batch engine into a
+long-lived HTTP service; this script is a complete client session against
+it, using nothing but the standard library:
+
+1. *start* ``python -m repro serve --port 0`` as a subprocess and discover
+   the ephemeral port from its first stdout line (the documented
+   machine-parseable handshake);
+2. *solve* one scenario with ``POST /solve`` — the request body is exactly
+   :meth:`ScenarioSpec.to_json`, nothing service-specific;
+3. *replay* the identical request and confirm from the response envelope
+   and the ``/metrics`` deltas that it was a cache hit costing **zero** new
+   LP solves;
+4. *stream* a whole :class:`SuiteSpec` through ``POST /suite`` and print
+   the per-scenario NDJSON records as they arrive;
+5. *scrape* ``GET /metrics`` and show the layered counters.
+
+Run with:  python examples/serve_client.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro.scenarios import ScenarioGrid, SuiteSpec
+from repro.scenarios.spec import ScenarioSpec
+
+
+def post(url: str, payload: str) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=payload.encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return json.loads(response.read())
+
+
+def get(url: str) -> dict:
+    with urllib.request.urlopen(url) as response:
+        return json.loads(response.read())
+
+
+def main() -> int:
+    # ------------------------------------------------------------------
+    # 1. Start the server on an ephemeral port with a throwaway cache dir.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory(prefix="repro-serve-example-") as tmp:
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--cache-dir",
+                tmp,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            cwd=Path(__file__).resolve().parents[1],
+        )
+        try:
+            handshake = process.stdout.readline().strip()
+            assert handshake.startswith("serving on "), handshake
+            base = handshake.split("serving on ", 1)[1]
+            print(f"server up at {base}")
+            print(f"healthz: {get(base + '/healthz')}")
+
+            # ----------------------------------------------------------
+            # 2. Solve one scenario: the body is plain ScenarioSpec JSON.
+            # ----------------------------------------------------------
+            spec = ScenarioSpec(
+                family="grid", params={"shape": (4, 4)}, seed=0, radii=(1, 2)
+            )
+            first = post(base + "/solve", spec.to_json())
+            print(
+                f"\nPOST /solve #1: source={first['source']} "
+                f"optimum={first['result']['optimum']:.4f} "
+                f"({first['seconds'] * 1000:.0f}ms)"
+            )
+
+            # ----------------------------------------------------------
+            # 3. Replay it: a cache hit, and zero new solver calls.
+            # ----------------------------------------------------------
+            before = get(base + "/metrics")
+            second = post(base + "/solve", spec.to_json())
+            after = get(base + "/metrics")
+            new_lp_solves = (
+                after["engine"]["stats"]["executed"]
+                - before["engine"]["stats"]["executed"]
+            )
+            print(
+                f"POST /solve #2: source={second['source']} "
+                f"cached={second['cached']} new_lp_solves={new_lp_solves} "
+                f"({second['seconds'] * 1000:.0f}ms)"
+            )
+            assert second["cached"] is True, "replay must be a cache hit"
+            assert new_lp_solves == 0, "a cache hit must cost zero LP solves"
+            assert second["result"] == first["result"], "answers must be identical"
+
+            # ----------------------------------------------------------
+            # 4. Stream a suite: one NDJSON record per scenario.
+            # ----------------------------------------------------------
+            suite = SuiteSpec(
+                name="example-sweep",
+                grids=(
+                    ScenarioGrid(
+                        family="cycle", params={"n": [8, 12, 16]}, radii=(1,)
+                    ),
+                ),
+            )
+            print("\nPOST /suite (streamed):")
+            request = urllib.request.Request(
+                base + "/suite",
+                data=suite.to_json().encode("utf-8"),
+                method="POST",
+            )
+            with urllib.request.urlopen(request) as response:
+                for line in response:
+                    record = json.loads(line)
+                    if record["type"] == "result":
+                        result = record["result"]
+                        print(
+                            f"  {result['label']}: "
+                            f"optimum={result['optimum']:.4f} "
+                            f"safe_ratio={result['safe_ratio']:.4f} "
+                            f"[{record['source']}]"
+                        )
+                    else:
+                        print(
+                            f"  summary: {record['n_scenarios']} scenarios "
+                            f"in {record['seconds']:.2f}s "
+                            f"(sources: {record['sources']})"
+                        )
+
+            # ----------------------------------------------------------
+            # 5. Scrape the metrics snapshot.
+            # ----------------------------------------------------------
+            metrics = get(base + "/metrics")
+            print(
+                f"\nmetrics: requests={metrics['requests']} "
+                f"scenario_cache={metrics['scenarios']['cache']['hits']} hits / "
+                f"{metrics['scenarios']['cache']['misses']} misses, "
+                f"highs_total={metrics['highs']['total']}"
+            )
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
+    print("\ndone")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

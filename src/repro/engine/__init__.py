@@ -37,9 +37,11 @@ from .fingerprint import (
     fingerprint_request,
 )
 from .jobs import JobRecord, RunRegistry
+from .scheduler import RequestScheduler
 
 __all__ = [
     "BatchSolver",
+    "RequestScheduler",
     "CacheStats",
     "EngineStats",
     "EXECUTION_MODES",

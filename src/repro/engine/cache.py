@@ -18,6 +18,13 @@ LPs have objective ``inf``.
 
 Hit/miss/eviction counters are kept in :class:`CacheStats`; the acceptance
 tests use them to prove that warm re-runs are pure cache traffic.
+
+The cache is safe under concurrent access from a worker pool (the serving
+layer hits one instance from every request thread): the LRU and the
+counters are guarded by one lock, per-entry disk writes are atomic (temp
+file + rename), and the O(entries) disk scans — prune, clear, the lazy
+usage-counter initialisation — are serialised on a separate scan lock so
+they never block ``get``/``put`` and never race each other's bookkeeping.
 """
 
 from __future__ import annotations
@@ -131,6 +138,11 @@ class ResultCache:
         # not interleave OrderedDict mutations.  Disk writes are already
         # atomic per entry.
         self._lock = threading.RLock()
+        # Serialises the O(entries) disk scans (prune, clear, the lazy
+        # usage-counter initialisation) *without* blocking get/put on them:
+        # a server's worker pool must keep answering requests while one
+        # thread walks the tier.  Never taken while holding ``_lock``.
+        self._scan_lock = threading.Lock()
         if self.directory is not None:
             self.directory = Path(self.directory)
 
@@ -215,11 +227,18 @@ class ResultCache:
                     self._disk_usage += written
                 usage = self._disk_usage
             if usage is None:
-                scanned = self.disk_bytes()  # full walk, outside the lock
-                with self._lock:
-                    if self._disk_usage is None:
-                        self._disk_usage = scanned
-                    usage = self._disk_usage
+                # One thread performs the full walk; racers wait on the
+                # scan lock and then reuse its result instead of each
+                # re-walking the tier.
+                with self._scan_lock:
+                    with self._lock:
+                        usage = self._disk_usage
+                    if usage is None:
+                        scanned = self.disk_bytes()  # full walk
+                        with self._lock:
+                            if self._disk_usage is None:
+                                self._disk_usage = scanned
+                            usage = self._disk_usage
             if usage > self.max_disk_bytes:
                 # Prune to a low-water mark, not the cap itself: landing a
                 # hair under the cap would re-trigger the O(entries) scan on
@@ -240,32 +259,40 @@ class ResultCache:
         if self.directory is None or max_bytes is None:
             return {"removed_entries": 0, "removed_bytes": 0,
                     "remaining_bytes": self.disk_bytes()}
-        entries = []
-        total = 0
-        for path in self._iter_disk_paths():
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((stat.st_mtime, str(path), stat.st_size, path))
-            total += stat.st_size
-        entries.sort(key=lambda item: (item[0], item[1]))
-        removed_entries = 0
-        removed_bytes = 0
-        for _mtime, _name, size, path in entries:
-            if total <= max_bytes:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            total -= size
-            removed_entries += 1
-            removed_bytes += size
-        with self._lock:
-            if removed_entries:
-                self.stats.disk_evictions += removed_entries
-            self._disk_usage = total
+        # One prune at a time: concurrent cap-triggered prunes would each
+        # walk the tier and the losers would clobber ``_disk_usage`` with a
+        # stale total.  The serialised follow-up prune re-scans the already
+        # shrunk tier and removes nothing.
+        with self._scan_lock:
+            entries = []
+            total = 0
+            for path in self._iter_disk_paths():
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, str(path), stat.st_size, path))
+                total += stat.st_size
+            entries.sort(key=lambda item: (item[0], item[1]))
+            removed_entries = 0
+            removed_bytes = 0
+            for _mtime, _name, size, path in entries:
+                if total <= max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    # Concurrently invalidated/cleared: its bytes are gone
+                    # either way, but credit the eviction to that caller.
+                    total -= size
+                    continue
+                total -= size
+                removed_entries += 1
+                removed_bytes += size
+            with self._lock:
+                if removed_entries:
+                    self.stats.disk_evictions += removed_entries
+                self._disk_usage = total
         return {
             "removed_entries": removed_entries,
             "removed_bytes": removed_bytes,
@@ -302,13 +329,14 @@ class ResultCache:
         with self._lock:
             self._memory.clear()
         if disk:
-            with self._lock:
-                self._disk_usage = None
-            for path in list(self._iter_disk_paths()):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+            with self._scan_lock:
+                with self._lock:
+                    self._disk_usage = None
+                for path in list(self._iter_disk_paths()):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
 
     # ------------------------------------------------------------------
     # Introspection

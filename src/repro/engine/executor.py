@@ -84,7 +84,8 @@ from .fingerprint import (
     fingerprint_request,
     fingerprint_view_requests,
 )
-from .jobs import JobRecord, RunRegistry
+from .jobs import RunRegistry
+from .scheduler import RequestScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a cycle
     from ..canon.labeling import CanonicalForm
@@ -101,9 +102,6 @@ __all__ = [
 
 #: Supported execution modes of :class:`BatchSolver`.
 EXECUTION_MODES = ("serial", "thread", "process")
-
-_MISSING = object()
-
 
 @dataclass(frozen=True)
 class LocalLPOutcome:
@@ -132,6 +130,10 @@ class EngineStats:
     dedup_saved:
         Units skipped because an identical unit appeared earlier in the
         same batch.
+    coalesced:
+        Units answered by attaching to another thread's in-flight solve of
+        the same key (single-flight coalescing, see
+        :mod:`repro.engine.scheduler`).
     pool_fallbacks:
         Times a worker pool could not be used and the engine ran serially.
     """
@@ -140,6 +142,7 @@ class EngineStats:
     units: int = 0
     executed: int = 0
     dedup_saved: int = 0
+    coalesced: int = 0
     pool_fallbacks: int = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -148,6 +151,7 @@ class EngineStats:
             "units": self.units,
             "executed": self.executed,
             "dedup_saved": self.dedup_saved,
+            "coalesced": self.coalesced,
             "pool_fallbacks": self.pool_fallbacks,
         }
 
@@ -276,18 +280,40 @@ class BatchSolver:
             raise ValueError("lp_chunk_size must be at least 1")
         self.mode = mode
         self.max_workers = max_workers
-        self.cache = cache
-        self.registry = registry
         self.canonical_local = canonical_local
         self.lp_strategy = lp_strategy
         self.lp_chunk_size = lp_chunk_size
         self.stats = EngineStats()
         self.lp_stats = BatchSolveStats()
+        # The request loop (dedup → cache → single-flight → solve) lives in
+        # the reusable scheduler; the engine contributes only the LP solve
+        # callback.  The scheduler counts into this engine's own stats.
+        self.scheduler = RequestScheduler(
+            cache=cache, registry=registry, stats=self.stats
+        )
         # Lazily built repro.canon CanonicalIndex; a shared index may be
         # injected (labelings are pure functions of the view, so sharing
         # one index across engines never changes a result -- it only lets
         # them skip re-searching classes the other has canonicalised).
         self._canon_index = canon_index
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        """The scheduler's result cache (the engine and scheduler share it)."""
+        return self.scheduler.cache
+
+    @cache.setter
+    def cache(self, cache: Optional[ResultCache]) -> None:
+        self.scheduler.cache = cache
+
+    @property
+    def registry(self) -> Optional[RunRegistry]:
+        """The scheduler's job registry (shared, like the cache)."""
+        return self.scheduler.registry
+
+    @registry.setter
+    def registry(self, registry: Optional[RunRegistry]) -> None:
+        self.scheduler.registry = registry
 
     def canon_index(self):
         """The engine's :class:`~repro.canon.labeling.CanonicalIndex` (lazy)."""
@@ -372,62 +398,28 @@ class BatchSolver:
     ) -> List[Dict[str, Any]]:
         """Dedup → cache → compile → batched fan-out, in submission order.
 
-        ``builders`` produce the solve units (a :class:`MaxMinLP`, a
-        :class:`~repro.canon.labeling.CanonicalForm`, or a pre-built
-        :class:`_SolveUnit`); they are only invoked for cache misses, so a
-        batch answered entirely from the cache never compiles a single
-        instance.  Cache misses are compiled to sparse reductions, chunked
-        deterministically (chunks are a function of the deduplicated key
-        order only) and solved as batched LP submissions -- one
+        The request loop itself (within-batch dedup, cache consultation,
+        builders invoked for misses only, cross-thread single-flight
+        coalescing) is the engine's :class:`~repro.engine.scheduler.RequestScheduler`;
+        this method contributes the LP-specific parts: ``builders`` produce
+        the solve units (a :class:`MaxMinLP`, a
+        :class:`~repro.canon.labeling.CanonicalForm`'s compiled matrices,
+        or a pre-built :class:`_SolveUnit`) and the solve callback compiles
+        cache misses to sparse reductions, chunks them deterministically
+        (chunks are a function of the deduplicated key order only) and
+        solves them as batched LP submissions -- one
         :func:`repro.lp.batch.solve_lp_batch` call per chunk, fanned over
         the worker pool in pooled modes with raw CSR buffers as the only
         payload.
         """
-        self.stats.batches += 1
-        self.stats.units += len(keys)
-        first_index: Dict[str, int] = {}
-        for idx, key in enumerate(keys):
-            first_index.setdefault(key, idx)
-        self.stats.dedup_saved += len(keys) - len(first_index)
-
-        results: Dict[str, Dict[str, Any]] = {}
-        pending: List[Tuple[str, _SolveUnit]] = []
-        for key, idx in first_index.items():
-            cached = self.cache.get(key, _MISSING) if self.cache is not None else _MISSING
-            if cached is not _MISSING:
-                results[key] = cached
-                if self.registry is not None:
-                    record = self.registry.new_job(kind, key)
-                    self.registry.finish_job(record, cached=True)
-            else:
-                pending.append((key, _SolveUnit.of(builders[idx]())))
-
-        if pending:
-            records: List[Optional[JobRecord]] = [
-                self.registry.new_job(kind, key) if self.registry is not None else None
-                for key, _ in pending
-            ]
-            try:
-                outcomes = self._solve_pending(
-                    [unit for _, unit in pending], kind=kind, backend=backend
-                )
-            except Exception as exc:
-                if self.registry is not None:
-                    for record in records:
-                        if record is not None:
-                            self.registry.finish_job(record, error=str(exc))
-                raise
-            for (key, _), record, (payload, duration) in zip(
-                pending, records, outcomes
-            ):
-                self.stats.executed += 1
-                if self.cache is not None:
-                    self.cache.put(key, payload)
-                results[key] = payload
-                if record is not None:
-                    self.registry.finish_job(record, duration_s=duration)
-
-        return [results[key] for key in keys]
+        return self.scheduler.run(
+            keys,
+            builders,
+            kind=kind,
+            solve=lambda built: self._solve_pending(
+                [_SolveUnit.of(unit) for unit in built], kind=kind, backend=backend
+            ),
+        )
 
     def _solve_pending(
         self,

@@ -56,6 +56,13 @@ class _HiGHSCallCounter:
 
 _counter_stack: threading.local = threading.local()
 
+#: Counters registered with ``count_highs_calls(all_threads=True)``: they
+#: see every HiGHS call of the whole process, whichever thread makes it.
+#: The serving layer's ``/metrics`` endpoint keeps one open for its whole
+#: lifetime; increments happen under the lock (an LP solve dwarfs it).
+_global_counters: List[_HiGHSCallCounter] = []
+_global_lock = threading.Lock()
+
 
 def _active_counters() -> List[_HiGHSCallCounter]:
     stack = getattr(_counter_stack, "stack", None)
@@ -66,16 +73,31 @@ def _active_counters() -> List[_HiGHSCallCounter]:
 
 
 @contextlib.contextmanager
-def count_highs_calls() -> Iterator[_HiGHSCallCounter]:
-    """Count HiGHS invocations made by the current thread inside the block.
+def count_highs_calls(*, all_threads: bool = False) -> Iterator[_HiGHSCallCounter]:
+    """Count HiGHS invocations made inside the block.
 
     The counting shim behind the batch layer's acceptance criterion: a
     block-diagonal :func:`repro.lp.batch.solve_lp_batch` over an
     all-feasible batch must register exactly **one** call here, however
     many LPs it carries.  Counters nest; each sees only calls made while
     it is the innermost *or* an enclosing context on the same thread.
+
+    By default only the current thread's calls are counted — the right
+    scope for asserting what one code path did.  With ``all_threads=True``
+    the counter sees every call of the whole process for as long as the
+    context is open (thread-safe), which is what a long-lived server needs
+    to report solver traffic across its worker threads.
     """
     counter = _HiGHSCallCounter()
+    if all_threads:
+        with _global_lock:
+            _global_counters.append(counter)
+        try:
+            yield counter
+        finally:
+            with _global_lock:
+                _global_counters.remove(counter)
+        return
     stack = _active_counters()
     stack.append(counter)
     try:
@@ -94,6 +116,10 @@ def call_highs(lp: LinearProgram):
     """
     for counter in _active_counters():
         counter.calls += 1
+    if _global_counters:
+        with _global_lock:
+            for counter in _global_counters:
+                counter.calls += 1
     return linprog(
         c=lp.c,
         A_ub=lp.A_ub,

@@ -25,6 +25,7 @@ receive the same canonical values no matter which route a spec travelled.
 from __future__ import annotations
 
 import json
+import operator
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -53,6 +54,49 @@ def _jsonable(value: Any) -> Any:
 
 def _canonical_params(params: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
     return {str(k): _canonical(v) for k, v in (params or {}).items()}
+
+
+def _parse_radii(radii: Any, *, where: str) -> Tuple[int, ...]:
+    """Validate a radii value: an iterable of true integers, all >= 1.
+
+    ``operator.index`` accepts ints and numpy integers but rejects floats,
+    bools and strings — the wire format must not silently coerce ``1.5``
+    or ``"2"`` into a radius.
+    """
+    if isinstance(radii, (str, bytes)) or not hasattr(radii, "__iter__"):
+        raise ValueError(
+            f"{where} radii must be an iterable of integers, got {radii!r}"
+        )
+    checked: List[int] = []
+    for r in radii:
+        if isinstance(r, bool):
+            raise ValueError(f"{where} radii must be integers, got {r!r}")
+        try:
+            checked.append(operator.index(r))
+        except TypeError:
+            raise ValueError(
+                f"{where} radii must be integers, got {r!r} "
+                f"(of type {type(r).__name__})"
+            ) from None
+    if any(r < 1 for r in checked):
+        raise ValueError(
+            f"{where} radii must be positive integers, got {tuple(checked)}"
+        )
+    return tuple(checked)
+
+
+def _check_fields(
+    data: Mapping[str, Any], allowed: Sequence[str], *, what: str
+) -> None:
+    """Reject unknown serialised fields with a precise error message."""
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{what} must be a JSON object, got {type(data).__name__}")
+    unknown = sorted(set(map(str, data)) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown {what} field(s) {', '.join(map(repr, unknown))}; "
+            f"expected a subset of {', '.join(sorted(allowed))}"
+        )
 
 
 @dataclass(frozen=True)
@@ -86,17 +130,32 @@ class ScenarioSpec:
     backend: str = DEFAULT_BACKEND
     label: Optional[str] = None
 
+    #: Serialised field names :meth:`from_dict` accepts (anything else is a
+    #: client error, reported precisely — never silently dropped).
+    FIELDS = ("family", "params", "seed", "radii", "backend", "label")
+
     def __post_init__(self) -> None:
         if not self.family or not isinstance(self.family, str):
             raise ValueError("family must be a non-empty string")
+        if not isinstance(self.params, Mapping):
+            raise ValueError(
+                f"params must be a mapping of parameter names to values, "
+                f"got {type(self.params).__name__}"
+            )
+        if self.seed is not None and (
+            isinstance(self.seed, bool) or not isinstance(self.seed, int)
+        ):
+            raise ValueError(
+                f"seed must be an integer or null, got {self.seed!r}"
+            )
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError("backend must be a non-empty string")
+        if self.label is not None and not isinstance(self.label, str):
+            raise ValueError(f"label must be a string or null, got {self.label!r}")
         object.__setattr__(self, "params", _canonical_params(self.params))
-        try:
-            radii = tuple(int(r) for r in self.radii)
-        except TypeError:
-            raise ValueError("radii must be an iterable of integers")
-        if any(r < 1 for r in radii):
-            raise ValueError(f"radii must be positive integers, got {radii}")
-        object.__setattr__(self, "radii", radii)
+        object.__setattr__(
+            self, "radii", _parse_radii(self.radii, where="ScenarioSpec")
+        )
 
     def __hash__(self) -> int:
         # The generated hash would fail on the params dict; its values are
@@ -164,12 +223,27 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
-        """Inverse of :meth:`to_dict` (canonicalises sequence params)."""
+        """Inverse of :meth:`to_dict` (canonicalises sequence params).
+
+        Strict: unknown fields and wrongly typed values raise
+        :class:`ValueError` with a precise message — a spec that arrives
+        over the wire either means exactly what :meth:`to_dict` would have
+        produced, or it is rejected.
+        """
+        _check_fields(data, cls.FIELDS, what="ScenarioSpec")
+        if "family" not in data:
+            raise ValueError("ScenarioSpec is missing the required 'family' field")
+        params = data.get("params", {})
+        if not isinstance(params, Mapping):
+            raise ValueError(
+                f"ScenarioSpec params must be a JSON object, "
+                f"got {type(params).__name__}"
+            )
         return cls(
             family=data["family"],
-            params=dict(data.get("params", {})),
+            params=dict(params),
             seed=data.get("seed"),
-            radii=tuple(data.get("radii", (1,))),
+            radii=_parse_radii(data.get("radii", (1,)), where="ScenarioSpec"),
             backend=data.get("backend", DEFAULT_BACKEND),
             label=data.get("label"),
         )
@@ -179,7 +253,13 @@ class ScenarioSpec:
 
     @classmethod
     def from_json(cls, text: str) -> "ScenarioSpec":
-        return cls.from_dict(json.loads(text))
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"a ScenarioSpec must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
 
 
 def _render_value(value: Any) -> str:
@@ -240,10 +320,9 @@ class ScenarioGrid:
         if not seeds:
             raise ValueError("seeds must contain at least one entry")
         object.__setattr__(self, "seeds", seeds)
-        radii = tuple(int(r) for r in self.radii)
-        if any(r < 1 for r in radii):
-            raise ValueError(f"radii must be positive integers, got {radii}")
-        object.__setattr__(self, "radii", radii)
+        object.__setattr__(
+            self, "radii", _parse_radii(self.radii, where="ScenarioGrid")
+        )
 
     def __hash__(self) -> int:
         return hash(
@@ -307,6 +386,13 @@ class ScenarioGrid:
         # Values pass through unchanged: the constructor's list-is-axis /
         # scalar-is-literal normalisation applies to JSON data exactly as it
         # does to Python literals (so {"weights": "unit"} stays one choice).
+        _check_fields(
+            data,
+            ("family", "params", "seeds", "radii", "backend", "label"),
+            what="ScenarioGrid",
+        )
+        if "family" not in data:
+            raise ValueError("ScenarioGrid is missing the required 'family' field")
         seeds = data.get("seeds", (None,))
         if isinstance(seeds, list):
             seeds = tuple(seeds)
@@ -366,10 +452,23 @@ class SuiteSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SuiteSpec":
+        _check_fields(
+            data,
+            ("spec_version", "name", "description", "grids"),
+            what="SuiteSpec",
+        )
+        if "name" not in data:
+            raise ValueError("SuiteSpec is missing the required 'name' field")
+        grids = data.get("grids", ())
+        if isinstance(grids, Mapping) or not hasattr(grids, "__iter__"):
+            raise ValueError(
+                f"SuiteSpec grids must be a list of grid objects, "
+                f"got {type(grids).__name__}"
+            )
         return cls(
             name=data["name"],
             description=data.get("description", ""),
-            grids=tuple(ScenarioGrid.from_dict(g) for g in data.get("grids", ())),
+            grids=tuple(ScenarioGrid.from_dict(g) for g in grids),
         )
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
@@ -377,4 +476,9 @@ class SuiteSpec:
 
     @classmethod
     def from_json(cls, text: str) -> "SuiteSpec":
-        return cls.from_dict(json.loads(text))
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"a SuiteSpec must be a JSON object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)

@@ -1,0 +1,29 @@
+"""Solver-as-a-service front end over the batch engine.
+
+The subpackage turns the reproduction's solve pipeline into a long-lived
+service without adding any dependency beyond the standard library:
+
+* :mod:`repro.serve.service` -- :class:`SolverService`, the transport-free
+  core: it parses the existing exact-JSON wire format
+  (:meth:`repro.scenarios.spec.ScenarioSpec.to_json` round-trips), runs
+  scenarios through one shared :class:`~repro.scenarios.runner.SuiteRunner`,
+  and drives a scenario-level
+  :class:`~repro.engine.scheduler.RequestScheduler` so identical concurrent
+  requests coalesce into a single solve;
+* :mod:`repro.serve.server` -- :class:`ReproServer`, a threaded
+  ``http.server`` binding: ``POST /solve`` (one scenario), ``POST /suite``
+  (streamed NDJSON, one line per scenario), ``GET /metrics`` and
+  ``GET /healthz``.
+
+Start it from the command line with ``python -m repro serve``.
+"""
+
+from .service import ServeRequestError, SolverService, scenario_request_key
+from .server import ReproServer
+
+__all__ = [
+    "ReproServer",
+    "ServeRequestError",
+    "SolverService",
+    "scenario_request_key",
+]

@@ -1,0 +1,250 @@
+"""Threaded stdlib HTTP binding for :class:`~repro.serve.service.SolverService`.
+
+Endpoints
+---------
+``POST /solve``
+    Body: one :meth:`ScenarioSpec.to_json` document.  Response: one JSON
+    envelope ``{"scenario_id", "source", "cached", "seconds", "result"}``.
+``POST /suite``
+    Body: one :meth:`SuiteSpec.to_json` document.  Response: NDJSON --
+    one ``{"type": "result", ...}`` line per scenario, streamed as each is
+    solved, then a final ``{"type": "summary", ...}`` line.  The stream is
+    close-delimited (``Connection: close``), so clients just read lines
+    until EOF.
+``GET /metrics`` / ``GET /healthz``
+    JSON observability snapshots (see :meth:`SolverService.metrics`).
+
+Error contract: caller mistakes (malformed JSON, schema violations,
+unknown families) are **400** with ``{"error": {"type": "bad_request",
+"message": ...}}`` -- never a 500, never a traceback; unknown paths are
+404, wrong methods 405, and anything unexpected is a 500 with the
+exception's one-line rendering.
+
+The server is :class:`http.server.ThreadingHTTPServer`-based: one thread
+per connection, which is exactly the concurrency the service's
+single-flight scheduler is built to absorb.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from .. import __version__
+from .service import ServeRequestError, SolverService
+
+__all__ = ["DEFAULT_PORT", "MAX_BODY_BYTES", "ReproServer"]
+
+DEFAULT_PORT = 8008
+
+#: Reject request bodies beyond this size with a 400 instead of reading
+#: them into memory; suite files are a few kilobytes, so 8 MiB is generous.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Route requests into the server's :class:`SolverService`."""
+
+    server_version = f"repro-serve/{__version__}"
+    # HTTP/1.0 keeps bodies close-delimited, which is what lets /suite
+    # stream NDJSON without chunked-encoding bookkeeping.
+    protocol_version = "HTTP/1.0"
+
+    @property
+    def service(self) -> SolverService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # Response helpers
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, type_: str, message: str) -> None:
+        self.service.count_error()
+        self._send_json(status, {"error": {"type": type_, "message": message}})
+
+    def _read_body(self) -> str:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise ServeRequestError("invalid Content-Length header") from None
+        if length <= 0:
+            raise ServeRequestError(
+                "request body required: POST a spec JSON document "
+                "with a Content-Length header"
+            )
+        if length > MAX_BODY_BYTES:
+            raise ServeRequestError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ServeRequestError(f"request body is not UTF-8: {exc}") from None
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        try:
+            if self.path == "/healthz":
+                self._send_json(200, self.service.healthz())
+            elif self.path == "/metrics":
+                self._send_json(200, self.service.metrics())
+            elif self.path in ("/solve", "/suite"):
+                self._send_error_json(
+                    405, "method_not_allowed", f"{self.path} requires POST"
+                )
+            else:
+                self._send_error_json(
+                    404,
+                    "not_found",
+                    f"unknown path {self.path!r}; endpoints: "
+                    "POST /solve, POST /suite, GET /metrics, GET /healthz",
+                )
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+        except Exception as exc:  # pragma: no cover - defensive
+            self._internal_error(exc)
+
+    def do_POST(self) -> None:
+        streaming = False
+        try:
+            if self.path == "/solve":
+                self._send_json(200, self.service.solve_scenario_json(self._read_body()))
+            elif self.path == "/suite":
+                # Parse + validate the whole suite *before* committing to a
+                # 200: ServeRequestError here still becomes a clean 400.
+                stream = self.service.iter_suite_json(self._read_body())
+                streaming = True
+                self.send_response(200)
+                self.send_header("Content-Type", "application/x-ndjson")
+                self.send_header("Connection", "close")
+                self.end_headers()
+                for record in stream:
+                    self.wfile.write((json.dumps(record) + "\n").encode("utf-8"))
+                    self.wfile.flush()
+            elif self.path in ("/metrics", "/healthz"):
+                self._send_error_json(
+                    405, "method_not_allowed", f"{self.path} requires GET"
+                )
+            else:
+                self._send_error_json(
+                    404,
+                    "not_found",
+                    f"unknown path {self.path!r}; endpoints: "
+                    "POST /solve, POST /suite, GET /metrics, GET /healthz",
+                )
+        except ServeRequestError as exc:
+            self._send_error_json(400, "bad_request", str(exc))
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            pass
+        except Exception as exc:
+            if streaming:
+                # Headers are gone; the best we can do is a terminal error
+                # record so the client knows the stream is truncated.
+                self.service.count_error()
+                try:
+                    record = {
+                        "type": "error",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    }
+                    self.wfile.write((json.dumps(record) + "\n").encode("utf-8"))
+                except OSError:
+                    pass
+            else:
+                self._internal_error(exc)
+
+    def _internal_error(self, exc: Exception) -> None:
+        try:
+            self._send_error_json(500, "internal", f"{type(exc).__name__}: {exc}")
+        except OSError:  # pragma: no cover - connection already dead
+            pass
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The solve service bound to a socket; one handler thread per request.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.serve.service.SolverService` requests run
+        through.  The server does not own its lifecycle -- callers close
+        the service after :meth:`stop` (the CLI and the context-manager
+        form both do).
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port, readable from
+        :attr:`port` after construction.
+    verbose:
+        Re-enable ``http.server``'s per-request stderr log lines.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The stock listen backlog of 5 drops connections under a burst of
+    # concurrent clients — exactly the coalescing workload this server is
+    # for.  128 absorbs any realistic burst (the kernel caps it anyway).
+    request_queue_size = 128
+
+    def __init__(
+        self,
+        service: SolverService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__((host, port), _Handler)
+        self.service = service
+        self.verbose = verbose
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start_background(self) -> "ReproServer":
+        """Serve from a daemon thread; returns ``self`` for chaining."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        thread.start()
+        self._thread = thread
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "ReproServer":
+        return self.start_background()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+        self.service.close()

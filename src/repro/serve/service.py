@@ -1,0 +1,343 @@
+"""The transport-free serving core: parse, schedule, solve, observe.
+
+:class:`SolverService` is everything the HTTP layer does *except* HTTP, so
+tests (and embedders) can drive it directly:
+
+* **wire format** -- requests are the existing exact-JSON round-trip forms
+  of :class:`~repro.scenarios.spec.ScenarioSpec` and
+  :class:`~repro.scenarios.spec.SuiteSpec`; nothing new to learn, and the
+  ``scenario_id`` fingerprint doubles as the request key.
+* **scheduling** -- every scenario request runs through a scenario-level
+  :class:`~repro.engine.scheduler.RequestScheduler`: repeated requests are
+  answered from a content-addressed :class:`~repro.engine.cache.ResultCache`
+  (optionally disk-backed, so results survive restarts), and *concurrent*
+  identical requests single-flight into one solve.
+* **solving** -- cache misses run through one shared
+  :class:`~repro.scenarios.runner.SuiteRunner`, i.e. the very same pipeline
+  the CLI's ``suite run`` uses.  A served response is therefore
+  bit-identical to the in-process API (the timing-only ``seconds`` field is
+  reported per request, outside the cached payload).
+* **observability** -- :meth:`SolverService.metrics` snapshots the request
+  counters, both scheduler/cache tiers, the engine's LP counters, the canon
+  index, and a process-wide HiGHS call counter
+  (:func:`repro.lp.count_highs_calls` with ``all_threads=True``) with a
+  per-scrape-window delta.
+
+Errors callers can fix -- malformed JSON, schema violations, unknown
+families -- raise :class:`ServeRequestError` (the HTTP layer's 400); the
+unknown-family message lists the registry's valid families.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from .. import __version__
+from ..engine.cache import ResultCache
+from ..engine.fingerprint import fingerprint_data
+from ..engine.jobs import RunRegistry
+from ..engine.scheduler import SOURCE_SOLVED, RequestScheduler
+from ..exceptions import ScenarioError
+from ..lp.backends import count_highs_calls
+from ..scenarios.runner import SuiteRunner
+from ..scenarios.spec import ScenarioSpec, SuiteSpec
+
+__all__ = ["ServeRequestError", "SolverService", "scenario_request_key"]
+
+
+class ServeRequestError(ValueError):
+    """A request the *caller* can fix: bad JSON, bad schema, unknown family.
+
+    The HTTP layer maps this to a 400 response whose body carries the
+    message verbatim; anything else escaping the service is a server-side
+    500.
+    """
+
+
+def scenario_request_key(spec: ScenarioSpec, *, lp_strategy: str) -> str:
+    """Content-addressed cache/coalescing key of one scenario request.
+
+    Built on :attr:`~repro.scenarios.spec.ScenarioSpec.scenario_id` (which
+    already excludes the display label), plus the engine's ``lp_strategy``:
+    the ``"stacked"`` path may return different equally-optimal vertices
+    than ``"per-lp"``, so results produced under different strategies must
+    never answer each other's requests.  ``share_orbits`` and execution
+    mode are deliberately *not* part of the key -- they are bit-identical
+    accelerations of the same computation.
+    """
+    return fingerprint_data(
+        {
+            "kind": "serve_scenario",
+            "version": 1,
+            "scenario_id": spec.scenario_id,
+            "lp_strategy": lp_strategy,
+        }
+    )
+
+
+class SolverService:
+    """Scenario solving behind a cache, single-flight coalescing and metrics.
+
+    Parameters
+    ----------
+    runner:
+        A ready :class:`~repro.scenarios.runner.SuiteRunner` to solve cache
+        misses with.  When omitted, one is built from the remaining
+        parameters.
+    mode / max_workers / lp_strategy / lp_chunk_size / share_orbits:
+        Forwarded to the runner's :class:`~repro.engine.BatchSolver` when
+        ``runner`` is not supplied.
+    cache_dir:
+        Optional directory for the disk tiers.  The engine's LP-level cache
+        uses it directly -- the same layout ``suite run --cache-dir`` warms,
+        so a served scenario reuses LP results of past CLI runs -- and the
+        scenario-level result cache lives under its ``serve/`` subdirectory.
+        ``None`` keeps both caches purely in memory.
+    max_memory_entries:
+        Memory-LRU bound of the scenario-level cache.
+
+    The service holds a process-wide HiGHS call counter open for its whole
+    lifetime (for :meth:`metrics`); call :meth:`close` when done, or use the
+    service as a context manager.
+    """
+
+    def __init__(
+        self,
+        *,
+        runner: Optional[SuiteRunner] = None,
+        mode: str = "serial",
+        max_workers: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        lp_strategy: str = "per-lp",
+        lp_chunk_size: int = 64,
+        share_orbits: bool = False,
+        max_memory_entries: int = 4096,
+    ) -> None:
+        if runner is None:
+            engine_cache = ResultCache(
+                directory=Path(cache_dir) if cache_dir is not None else None
+            )
+            runner = SuiteRunner(
+                mode=mode,
+                max_workers=max_workers,
+                cache=engine_cache,
+                registry=RunRegistry(),
+                share_orbits=share_orbits,
+                lp_strategy=lp_strategy,
+                lp_chunk_size=lp_chunk_size,
+            )
+        self.runner = runner
+        self.lp_strategy = runner.engine.lp_strategy
+        self.scenario_cache = ResultCache(
+            max_memory_entries=max_memory_entries,
+            directory=Path(cache_dir) / "serve" if cache_dir is not None else None,
+        )
+        self.scheduler = RequestScheduler(
+            cache=self.scenario_cache,
+            registry=runner.engine.registry,
+        )
+        self._started = time.monotonic()
+        self._metrics_lock = threading.Lock()
+        self._requests: Dict[str, int] = {"scenario": 0, "suite": 0, "errors": 0}
+        self._highs_cm = count_highs_calls(all_threads=True)
+        self._highs = self._highs_cm.__enter__()
+        self._highs_last = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the process-wide HiGHS counter (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._highs_cm.__exit__(None, None, None)
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request parsing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def parse_scenario(text: str) -> ScenarioSpec:
+        """Parse and registry-validate one scenario request body.
+
+        Raises :class:`ServeRequestError` with the parser's or registry's
+        precise message -- malformed JSON, unknown/wrongly-typed fields,
+        and unknown families (listing the registered ones) all surface as
+        caller errors, never as tracebacks.
+        """
+        from ..scenarios.registry import validate_spec
+
+        try:
+            spec = ScenarioSpec.from_json(text)
+        except json.JSONDecodeError as exc:
+            raise ServeRequestError(f"request body is not valid JSON: {exc}") from None
+        except (TypeError, ValueError) as exc:
+            raise ServeRequestError(f"invalid scenario spec: {exc}") from None
+        try:
+            validate_spec(spec)
+        except ScenarioError as exc:
+            raise ServeRequestError(str(exc)) from None
+        return spec
+
+    @staticmethod
+    def parse_suite(text: str) -> Tuple[SuiteSpec, List[ScenarioSpec]]:
+        """Parse one suite request body and expand+validate every scenario.
+
+        Validation is eager -- the whole suite is checked before anything
+        is solved or streamed, so a typo in the last grid fails the request
+        with a 400 instead of dying mid-stream.
+        """
+        try:
+            suite = SuiteSpec.from_json(text)
+        except json.JSONDecodeError as exc:
+            raise ServeRequestError(f"request body is not valid JSON: {exc}") from None
+        except (TypeError, ValueError) as exc:
+            raise ServeRequestError(f"invalid suite spec: {exc}") from None
+        try:
+            scenarios = SuiteRunner.expand(suite)
+        except ScenarioError as exc:
+            raise ServeRequestError(str(exc)) from None
+        except (TypeError, ValueError) as exc:
+            raise ServeRequestError(f"invalid suite spec: {exc}") from None
+        return suite, scenarios
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def _solve_specs(self, specs: List[ScenarioSpec]) -> List[Tuple[Any, float]]:
+        """Scheduler ``solve`` callback: run each miss through the runner.
+
+        The payload is :meth:`ScenarioResult.as_dict` minus its
+        timing-only ``seconds`` field, so cached and fresh answers to the
+        same request are byte-identical; timing is reported per request in
+        the response envelope instead.
+        """
+        outcomes: List[Tuple[Any, float]] = []
+        for spec in specs:
+            start = time.perf_counter()
+            (result,) = list(self.runner.run([spec]))
+            payload = result.as_dict()
+            payload.pop("seconds", None)
+            outcomes.append((payload, time.perf_counter() - start))
+        return outcomes
+
+    def solve_scenario(self, spec: ScenarioSpec) -> Dict[str, Any]:
+        """Solve one (already validated) scenario; returns the envelope.
+
+        The envelope is ``{"scenario_id", "source", "cached", "seconds",
+        "result"}`` where ``source`` is ``"cache"``, ``"solved"`` or
+        ``"coalesced"`` and ``result`` is the deterministic
+        :meth:`~repro.scenarios.runner.ScenarioResult.as_dict` payload.
+        """
+        with self._metrics_lock:
+            self._requests["scenario"] += 1
+        key = scenario_request_key(spec, lp_strategy=self.lp_strategy)
+        start = time.perf_counter()
+        ((payload, source),) = self.scheduler.run(
+            [key],
+            [lambda: spec],
+            kind="serve_scenario",
+            solve=self._solve_specs,
+            details=True,
+        )
+        return {
+            "scenario_id": spec.scenario_id,
+            "source": source,
+            "cached": source != SOURCE_SOLVED,
+            "seconds": time.perf_counter() - start,
+            "result": payload,
+        }
+
+    def solve_scenario_json(self, text: str) -> Dict[str, Any]:
+        """``POST /solve`` semantics: parse, validate, solve, envelope."""
+        return self.solve_scenario(self.parse_scenario(text))
+
+    def iter_suite_json(self, text: str) -> Iterator[Dict[str, Any]]:
+        """``POST /suite`` semantics: one result record per scenario.
+
+        Parsing and validation happen eagerly (raising
+        :class:`ServeRequestError` before the first record); the returned
+        iterator then yields ``{"type": "result", ...}`` envelopes in
+        declaration order -- each one as soon as it is solved, so callers
+        can stream -- followed by one ``{"type": "summary", ...}`` record
+        with per-source counts.
+        """
+        suite, scenarios = self.parse_suite(text)
+        with self._metrics_lock:
+            self._requests["suite"] += 1
+
+        def stream() -> Iterator[Dict[str, Any]]:
+            start = time.perf_counter()
+            counts = {"cache": 0, "solved": 0, "coalesced": 0}
+            for spec in scenarios:
+                envelope = self.solve_scenario(spec)
+                counts[envelope["source"]] += 1
+                yield {"type": "result", **envelope}
+            yield {
+                "type": "summary",
+                "suite": suite.name,
+                "n_scenarios": len(scenarios),
+                "sources": counts,
+                "seconds": time.perf_counter() - start,
+            }
+
+        return stream()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def count_error(self) -> None:
+        """Record one failed request (the HTTP layer calls this on 4xx/5xx)."""
+        with self._metrics_lock:
+            self._requests["errors"] += 1
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness payload: version and uptime."""
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        """One observability snapshot of every layer of the service.
+
+        ``highs.window`` is the number of HiGHS calls since the *previous*
+        scrape (the counter-delta convention pull-based collectors expect);
+        ``highs.total`` is monotone over the service's lifetime.
+        """
+        engine = self.runner.engine
+        with self._metrics_lock:
+            total = self._highs.calls
+            window = total - self._highs_last
+            self._highs_last = total
+            requests = dict(self._requests)
+        payload: Dict[str, Any] = {
+            "version": __version__,
+            "uptime_seconds": round(time.monotonic() - self._started, 3),
+            "requests": requests,
+            "scenarios": {
+                "scheduler": self.scheduler.stats.as_dict(),
+                "cache": self.scenario_cache.stats.as_dict(),
+            },
+            "engine": {
+                "stats": engine.stats.as_dict(),
+                "lp": engine.lp_stats.as_dict(),
+                "cache": (
+                    engine.cache.stats.as_dict() if engine.cache is not None else None
+                ),
+            },
+            "canon": dict(engine.canon_index().stats),
+            "highs": {"total": total, "window": window},
+        }
+        return payload

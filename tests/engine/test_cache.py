@@ -201,3 +201,91 @@ class TestDiskEviction:
         cache.put(OTHER, {"v": 2})  # evicts KEY from both tiers
         assert cache.get(KEY) is None
         assert cache.get(OTHER) == {"v": 2}
+
+
+class TestConcurrency:
+    """The cache under a worker pool: torn values and counter drift are bugs."""
+
+    def _stress(self, cache, *, n_threads=8, n_ops=200, n_keys=48):
+        import random
+        import threading
+
+        keys = [f"{i:02x}" * 32 for i in range(n_keys)]
+        problems = []
+        counts = {"gets": 0, "puts": 0}
+        count_lock = threading.Lock()
+
+        def worker(seed: int) -> None:
+            rng = random.Random(seed)
+            gets = puts = 0
+            try:
+                for _ in range(n_ops):
+                    key = rng.choice(keys)
+                    if rng.random() < 0.5:
+                        cache.put(key, {"payload": key, "pad": "x" * 200})
+                        puts += 1
+                    else:
+                        value = cache.get(key)
+                        gets += 1
+                        # Values are atomic: present and intact, or absent.
+                        if value is not None and value.get("payload") != key:
+                            problems.append(f"torn read for {key[:8]}")
+            except Exception as exc:  # noqa: BLE001 - surfaced to the test
+                problems.append(f"worker {seed} raised {exc!r}")
+            with count_lock:
+                counts["gets"] += gets
+                counts["puts"] += puts
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not problems, problems
+        return counts
+
+    def test_threaded_stress_memory_only(self):
+        cache = ResultCache(max_memory_entries=32)
+        counts = self._stress(cache)
+        stats = cache.stats
+        # Counters account for every operation exactly once.
+        assert stats.hits + stats.misses == counts["gets"]
+        assert stats.puts == counts["puts"]
+        assert len(cache) <= 32
+
+    def test_threaded_stress_with_capped_disk_tier(self, tmp_path):
+        cap = 20_000
+        cache = ResultCache(
+            max_memory_entries=16, directory=tmp_path, max_disk_bytes=cap
+        )
+        counts = self._stress(cache)
+        stats = cache.stats
+        assert stats.hits + stats.misses == counts["gets"]
+        assert stats.puts == counts["puts"]
+        assert stats.disk_hits <= stats.hits
+        assert len(cache) <= 16
+        # The cap is enforced (a write racing the final prune scan can
+        # overshoot by at most one entry's worth of bytes).
+        entry_bytes = 300
+        assert cache.disk_bytes() <= cap + entry_bytes
+        # Every surviving disk entry is readable and intact.
+        for path in tmp_path.glob("??/*.json"):
+            data = json.loads(path.read_text())
+            assert data["value"]["payload"] == data["key"]
+
+    def test_threaded_eviction_counters_are_consistent(self, tmp_path):
+        """puts == survivors + memory evictions, per tier bookkeeping."""
+        cache = ResultCache(max_memory_entries=4, directory=tmp_path)
+        self._stress(cache, n_threads=6, n_ops=100, n_keys=12)
+        stats = cache.stats
+        assert len(cache) <= 4
+        # Memory-tier conservation: entries enter the LRU via put or via
+        # disk-hit promotion, and each arrival evicts at most one resident.
+        assert stats.evictions <= stats.puts + stats.disk_hits
+        assert stats.evictions >= 0
+        # No disk cap was configured, so nothing may have been disk-evicted.
+        assert stats.disk_evictions == 0
+        assert cache.disk_entries() == 12
