@@ -1,0 +1,108 @@
+"""Experiment OBS -- the observability layer's cost and coverage.
+
+The tracing tentpole is only shippable if it is effectively free when
+off and honest when on.  This benchmark pins both acceptance criteria
+against the shared measurement protocol of ``repro bench --suite obs``
+(:func:`repro.cli.obs_measurements` -- same code, so the CLI gate against
+``BENCH_obs_baseline.json`` and this test can never drift apart):
+
+* **disabled overhead**: replaying warm ``POST /solve`` traffic against a
+  real :class:`~repro.serve.ReproServer`, the *implied* cost of the
+  disabled instrumentation points (measured no-op span cost x spans per
+  request) must stay under **2%** of the per-request time;
+* **trace coverage**: a traced suite run's root spans must account for
+  at least **90%** of the measured wall time (and never more than the
+  wall time plus scheduling slack) -- the per-stage totals printed by
+  ``repro obs summary`` describe the run, not a sample of it;
+* **span depth**: the warm HTTP path records the full request chain
+  (``http.request`` -> ``serve.request`` -> ``engine.schedule``), so a
+  request trace is never a single opaque block.
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI smoke variant and
+``REPRO_BENCH_OUT=<path>`` to write the measured rows as JSON.
+
+This is an ablation of this reproduction's infrastructure, not a figure
+of the paper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import obs_measurements
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REPEATS = 3
+
+
+@pytest.fixture(scope="session")
+def measurements():
+    """Best-of-N overhead timings via the shared CLI measurement protocol."""
+    return obs_measurements(QUICK, REPEATS)
+
+
+def test_obs_disabled_overhead_under_two_percent(measurements, report):
+    """Acceptance: disabled tracing costs < 2% of the warm serve path."""
+    overhead = measurements["obs_overhead"]
+    report(
+        "OBS: disabled-tracing overhead on the warm serve replay"
+        + (" (quick mode)" if QUICK else ""),
+        (
+            f"{overhead['requests']} warm requests over "
+            f"{overhead['distinct']} distinct scenarios: "
+            f"no-op span {overhead['noop_ns']:.0f}ns x "
+            f"{overhead['spans_per_request']:.1f} spans/request = "
+            f"{overhead['implied_overhead_pct']:.3f}% of the "
+            f"{overhead['disabled_seconds'] / overhead['requests'] * 1e3:.2f}ms "
+            f"request path (enabled/disabled wall ratio "
+            f"{1 / overhead['speedup']:.3f})"
+        ),
+    )
+    assert overhead["implied_overhead_pct"] < 2.0, (
+        "disabled instrumentation must stay under 2% of the warm request "
+        f"path; implied {overhead['implied_overhead_pct']:.3f}%"
+    )
+    # The no-op handle itself must stay sub-microsecond -- the global-flag
+    # fast path, not a thread-local read.
+    assert overhead["noop_ns"] < 5000.0, (
+        f"a disabled span costs {overhead['noop_ns']:.0f}ns; the no-op "
+        "fast path has regressed"
+    )
+
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        Path(out).write_text(json.dumps(measurements, indent=2))
+
+
+def test_obs_warm_request_records_full_chain(measurements):
+    """Acceptance: a traced warm request is >= 3 spans deep, not one block."""
+    overhead = measurements["obs_overhead"]
+    assert overhead["spans_per_request"] >= 3.0, (
+        "expected http.request -> serve.request -> engine.schedule per "
+        f"warm request; measured {overhead['spans_per_request']:.1f}"
+    )
+
+
+def test_obs_trace_covers_wall_time(measurements, report):
+    """Acceptance: traced stage totals within 10% of the measured wall."""
+    trace = measurements["obs_trace"]
+    report(
+        "OBS: traced suite run coverage",
+        (
+            f"{trace['spans']} spans over {trace['stages']} stages; root "
+            f"spans cover {trace['root_seconds']:.3f}s of "
+            f"{trace['wall_seconds']:.3f}s wall ({trace['coverage']:.1%})"
+        ),
+    )
+    assert trace["coverage"] >= 0.90, (
+        "the trace must account for >= 90% of the run's wall time; "
+        f"measured {trace['coverage']:.1%}"
+    )
+    # Root spans are timed inside the wall-clock window, so coverage can
+    # only exceed 1.0 by measurement rounding.
+    assert trace["coverage"] <= 1.01
+    assert trace["spans"] > 0 and trace["stages"] >= 5

@@ -52,6 +52,7 @@ import numpy as np
 
 from ..core.ordering import identifier_sort_key as _sort_key
 from ..core.problem import Agent, Beneficiary, MaxMinLP, Resource
+from ..obs.trace import span
 
 __all__ = [
     "CANON_FORMAT_VERSION",
@@ -849,7 +850,8 @@ class CanonicalIndex:
                     positions,
                 )
         try:
-            form_bytes, colors = canonicalizer.search_from(stable)
+            with span("canon.search", nodes=int(stable.size)):
+                form_bytes, colors = canonicalizer.search_from(stable)
         except _BudgetExhausted:
             colors = canonicalizer.literal_colors()
             form_bytes = canonicalizer._form_bytes(colors)

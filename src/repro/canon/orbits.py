@@ -22,6 +22,7 @@ from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Tuple
 from ..core.problem import Agent, MaxMinLP
 from ..hypergraph.communication import communication_hypergraph
 from ..hypergraph.hypergraph import Hypergraph
+from ..obs.trace import span
 from .labeling import (
     DEFAULT_BRANCH_BUDGET,
     CanonicalForm,
@@ -144,6 +145,29 @@ def partition_views(
     if index is None:
         index = CanonicalIndex(branch_budget=branch_budget)
 
+    with span("canon.partition", agents=len(problem.agents), radius=R):
+        return _partition_views_impl(
+            problem,
+            R,
+            hypergraph=hypergraph,
+            views=views,
+            index=index,
+            atlas=atlas,
+            vectorized=vectorized,
+        )
+
+
+def _partition_views_impl(
+    problem: MaxMinLP,
+    R: int,
+    *,
+    hypergraph: Optional[Hypergraph],
+    views: Optional[Mapping[Agent, FrozenSet[Agent]]],
+    index: CanonicalIndex,
+    atlas,
+    vectorized: bool,
+) -> OrbitPartition:
+    """The traced body of :func:`partition_views`."""
     forms: Dict[Agent, CanonicalForm]
     if vectorized or atlas is not None:
         from ..views.atlas import ViewAtlas

@@ -31,6 +31,7 @@ from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
 
 from ..core.problem import Agent, MaxMinLP
 from ..lp.backends import DEFAULT_BACKEND
+from ..obs.metrics import get_registry
 from .labeling import DEFAULT_BRANCH_BUDGET
 from .orbits import OrbitPartition, partition_views
 
@@ -77,7 +78,7 @@ class OrbitSolveStats:
 
 def _stats_for(partition: OrbitPartition) -> OrbitSolveStats:
     """Sharing statistics of one orbit-solve batch (shared by both planners)."""
-    return OrbitSolveStats(
+    stats = OrbitSolveStats(
         n_agents=len(partition.forms),
         n_orbits=partition.n_orbits,
         shared=len(partition.forms) - partition.n_orbits,
@@ -85,6 +86,11 @@ def _stats_for(partition: OrbitPartition) -> OrbitSolveStats:
             1 for orbit in partition.orbits if not orbit.form.exact
         ),
     )
+    registry = get_registry()
+    registry.counter("canon.orbit.agents").inc(stats.n_agents)
+    registry.counter("canon.orbit.lps").inc(stats.n_orbits)
+    registry.counter("canon.orbit.shared").inc(stats.shared)
+    return stats
 
 
 def _resolve_partition(

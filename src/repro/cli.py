@@ -21,6 +21,8 @@ Available commands::
     canon        view-canonicalization statistics (orbit counts per family)
     suite        declarative scenario suites: run, list-families, show
     serve        HTTP solve service (result cache + request coalescing)
+    trace        traced suite run -> Chrome trace_event JSON (Perfetto)
+    obs          observability utilities: per-stage trace summaries
 """
 
 from __future__ import annotations
@@ -633,6 +635,129 @@ def serve_measurements(quick: bool, repeats: int) -> Dict[str, object]:
     }
 
 
+def obs_measurements(quick: bool, repeats: int) -> Dict[str, object]:
+    """Measure the observability subsystem's overhead and trace coverage.
+
+    The single source of truth for the obs benchmark protocol, shared by
+    ``repro bench --suite obs`` and ``benchmarks/test_bench_obs.py``:
+
+    * ``obs_overhead`` — a warm ``POST /solve`` replay (every request a
+      cache hit against a real :class:`~repro.serve.ReproServer`, the
+      serve replay benchmark's steady state) timed best-of-``repeats``
+      with tracing disabled and then enabled.  Because disabled-vs-enabled
+      wall-clock deltas over a socket drown in scheduler noise, the
+      headline number is the *implied* disabled overhead: the measured
+      cost of one no-op :func:`repro.obs.span` call (best-of-``repeats``
+      microbenchmark) times the spans one request records, as a fraction
+      of the warm per-request time.  ``speedup`` is disabled/enabled
+      wall-clock for the regression gate (≈1.0 when tracing is cheap).
+    * ``obs_trace`` — one traced suite run; ``coverage`` is the root
+      spans' total duration over the measured wall time (the acceptance
+      criterion wants stage totals within 10% of wall).
+    """
+    import urllib.request
+
+    from .obs import stage_summary, tracing
+    from .obs.trace import span as obs_span
+    from .scenarios.spec import ScenarioSpec
+    from .serve import ReproServer, SolverService
+
+    distinct = 8 if quick else 16
+    requests = 200 if quick else 1000
+    noop_calls = 100_000 if quick else 500_000
+
+    # (1) cost of one instrumentation point while tracing is disabled.
+    noop_s = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        for _ in range(noop_calls):
+            with obs_span("bench.noop", agents=0):
+                pass
+        noop_s = min(noop_s, (time.perf_counter() - start) / noop_calls)
+
+    # (2) the warm serve-replay path: every request a cache hit over HTTP.
+    specs = [
+        ScenarioSpec(
+            family=("cycle", "path")[i % 2],
+            params={"n": 6 + i},
+            seed=i,
+            radii=(1,),
+        )
+        for i in range(distinct)
+    ]
+    bodies = [spec.to_json().encode("utf-8") for spec in specs]
+    order = [i % distinct for i in range(requests)]
+    service = SolverService()
+    with ReproServer(service, port=0) as server:
+        url = server.url + "/solve"
+
+        def post(body: bytes) -> None:
+            request = urllib.request.Request(
+                url,
+                data=body,
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request) as response:
+                response.read()
+
+        for body in bodies:
+            post(body)  # warm the scenario cache
+
+        def replay() -> float:
+            start = time.perf_counter()
+            for idx in order:
+                post(bodies[idx])
+            return time.perf_counter() - start
+
+        disabled_s = min(replay() for _ in range(max(1, repeats)))
+        enabled_s = float("inf")
+        spans = 0
+        for _ in range(max(1, repeats)):
+            with tracing() as tracer:
+                enabled_s = min(enabled_s, replay())
+            spans = len(tracer)
+    spans_per_request = spans / requests
+    implied_pct = 100.0 * spans_per_request * noop_s * requests / disabled_s
+
+    # (3) traced end-to-end suite run: stage totals vs wall time.
+    trace_specs = [
+        ScenarioSpec(family="cycle", params={"n": 8 + 2 * i}, radii=(1, 2))
+        for i in range(2 if quick else 4)
+    ]
+    runner = SuiteRunner(cache=ResultCache())
+    wall_start = time.perf_counter()
+    with tracing() as tracer:
+        runner.run_suite(trace_specs)
+    wall_s = time.perf_counter() - wall_start
+    trace_spans = tracer.spans()
+    root_total = sum(
+        s.duration for s in trace_spans if s.parent_id is None
+    )
+    stages = stage_summary(trace_spans)
+
+    return {
+        "quick": quick,
+        "obs_overhead": {
+            "requests": requests,
+            "distinct": distinct,
+            "noop_ns": round(noop_s * 1e9, 1),
+            "spans_per_request": round(spans_per_request, 2),
+            "disabled_seconds": round(disabled_s, 4),
+            "enabled_seconds": round(enabled_s, 4),
+            "implied_overhead_pct": round(implied_pct, 4),
+            "speedup": round(disabled_s / enabled_s, 3),
+        },
+        "obs_trace": {
+            "spans": len(trace_spans),
+            "stages": len(stages),
+            "wall_seconds": round(wall_s, 4),
+            "root_seconds": round(root_total, 4),
+            "coverage": round(root_total / wall_s, 4) if wall_s else 0.0,
+        },
+    }
+
+
 #: Sections of the bench JSON that carry a speedup the ``--compare`` gate
 #: judges, with their display labels.
 _BENCH_SECTIONS = {
@@ -641,6 +766,7 @@ _BENCH_SECTIONS = {
     "lp_batch_e2e": "batched LP solving e2e (averaging)",
     "lp_batch_bisection": "batched feasibility-probe sweep",
     "serve_replay": "serve traffic replay (cache + coalescing)",
+    "obs_overhead": "tracing overhead on the warm serve path",
 }
 
 
@@ -719,6 +845,22 @@ def run_bench(args: argparse.Namespace) -> int:
                 ),
                 "batched_s": replay["replay_seconds"],
                 "speedup": replay["speedup"],
+            }
+        )
+    if args.suite in ("obs", "all"):
+        measured = obs_measurements(quick, args.repeats)
+        rows.update({k: v for k, v in measured.items() if k != "quick"})
+        overhead = measured["obs_overhead"]
+        display.append(
+            {
+                "benchmark": _BENCH_SECTIONS["obs_overhead"],
+                "instance": (
+                    f"{overhead['requests']} warm reqs / "
+                    f"{overhead['spans_per_request']} spans each"
+                ),
+                "baseline_s": overhead["disabled_seconds"],
+                "batched_s": overhead["enabled_seconds"],
+                "speedup": overhead["speedup"],
             }
         )
     _print(
@@ -960,6 +1102,62 @@ def run_suite_show(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# Observability subcommands
+# ----------------------------------------------------------------------
+def run_trace_cmd(args: argparse.Namespace) -> int:
+    """Run a suite under the tracer and dump a Chrome ``trace_event`` file.
+
+    The output loads directly in Perfetto (https://ui.perfetto.dev) or
+    ``about:tracing``; span args carry ``span_id``/``parent_id`` so the
+    exact tree can be reconstructed programmatically too (``repro obs
+    summary`` does exactly that).
+    """
+    from .obs import format_table, stage_summary, tracing
+
+    suite = _load_suite(args.suite)
+    try:
+        total = len(SuiteRunner.expand(suite))
+    except ScenarioError as exc:
+        raise SystemExit(f"invalid suite {suite.name!r}: {exc}")
+    runner = SuiteRunner(
+        mode=args.mode,
+        max_workers=args.workers,
+        cache=ResultCache(),  # in-memory: trace the real solves, not disk hits
+        registry=RunRegistry(),
+        lp_strategy=args.lp_strategy,
+    )
+    with tracing() as tracer:
+        runner.run_suite(suite)
+    out = Path(args.out)
+    out.write_text(json.dumps(tracer.chrome_trace()) + "\n")
+    _print(
+        f"TRACE: suite {suite.name!r} ({total} scenarios, "
+        f"{len(tracer)} spans) -> {out}",
+        format_table(stage_summary(tracer.spans())),
+    )
+    print(f"\nopen in Perfetto: https://ui.perfetto.dev (load {out})")
+    return 0
+
+
+def run_obs_cmd(args: argparse.Namespace) -> int:
+    """Summarize a Chrome-trace JSON dump as a per-stage table."""
+    from .obs import format_table, load_trace_events, summarize_events
+
+    path = Path(args.trace)
+    if not path.is_file():
+        raise SystemExit(f"trace file not found: {path}")
+    try:
+        events = load_trace_events(path)
+    except ValueError as exc:
+        raise SystemExit(f"invalid trace file {path}: {exc}")
+    _print(
+        f"OBS: {path} ({len(events)} spans)",
+        format_table(summarize_events(events)),
+    )
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -1037,7 +1235,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument(
         "--suite",
-        choices=["views", "lp-batch", "serve", "all"],
+        choices=["views", "lp-batch", "serve", "obs", "all"],
         default="views",
         help="which benchmark suite to measure (default views)",
     )
@@ -1223,6 +1421,52 @@ def _build_parser() -> argparse.ArgumentParser:
     sp_show.add_argument(
         "suite", help="built-in suite name (paper, stress) or path to a suite JSON file"
     )
+
+    sp = sub.add_parser(
+        "trace",
+        help="run a suite under the tracer and dump a Chrome trace_event file",
+    )
+    trace_sub = sp.add_subparsers(dest="trace_command", required=True)
+    sp_trace_run = trace_sub.add_parser(
+        "run", help="traced suite run; writes Perfetto-loadable JSON"
+    )
+    sp_trace_run.add_argument(
+        "suite", help="built-in suite name (paper, stress) or path to a suite JSON file"
+    )
+    sp_trace_run.add_argument(
+        "--out", default="trace.json", help="output path (default trace.json)"
+    )
+    sp_trace_run.add_argument(
+        "--mode",
+        choices=list(EXECUTION_MODES),
+        default="serial",
+        help="execution mode of the batch engine",
+    )
+    sp_trace_run.add_argument(
+        "--max-workers",
+        "--workers",
+        dest="workers",
+        type=int,
+        default=None,
+        help="worker pool size for thread/process mode",
+    )
+    sp_trace_run.add_argument(
+        "--lp-strategy",
+        choices=list(BATCH_STRATEGIES),
+        default="per-lp",
+        help="how cache-miss LP batches reach the solver",
+    )
+
+    sp = sub.add_parser(
+        "obs", help="observability utilities (trace summaries)"
+    )
+    obs_sub = sp.add_subparsers(dest="obs_command", required=True)
+    sp_obs_summary = obs_sub.add_parser(
+        "summary", help="per-stage time breakdown of a trace.json dump"
+    )
+    sp_obs_summary.add_argument(
+        "trace", help="Chrome trace_event JSON file written by 'repro trace run'"
+    )
     return parser
 
 
@@ -1247,6 +1491,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.suite_command == "list-families":
             return run_suite_list_families(args)
         return run_suite_show(args)
+    if args.command == "trace":
+        return run_trace_cmd(args)
+    if args.command == "obs":
+        return run_obs_cmd(args)
     selected = list(EXPERIMENTS) if args.command == "all" else [args.command]
     for name in selected:
         EXPERIMENTS[name](args.seed)

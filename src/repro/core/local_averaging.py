@@ -58,6 +58,7 @@ from ..hypergraph.communication import communication_hypergraph
 from ..hypergraph.hypergraph import Hypergraph
 from ..lp.backends import DEFAULT_BACKEND
 from ..engine.executor import BatchSolver, get_default_engine
+from ..obs.trace import span
 from .problem import Agent, Beneficiary, MaxMinLP, Resource
 
 __all__ = [
@@ -313,8 +314,23 @@ def local_averaging_solution(
             "the supplied hypergraph's vertex set does not match the problem's agents"
         )
     eng = engine if engine is not None else get_default_engine()
-    if vectorized:
-        return _local_averaging_vectorized(
+    with span(
+        "core.averaging",
+        agents=len(problem.agents),
+        radius=R,
+        vectorized=vectorized,
+    ):
+        if vectorized:
+            return _local_averaging_vectorized(
+                problem,
+                R,
+                H,
+                eng,
+                backend=backend,
+                keep_local_solutions=keep_local_solutions,
+                share_orbits=share_orbits,
+            )
+        return _local_averaging_scalar(
             problem,
             R,
             H,
@@ -323,15 +339,6 @@ def local_averaging_solution(
             keep_local_solutions=keep_local_solutions,
             share_orbits=share_orbits,
         )
-    return _local_averaging_scalar(
-        problem,
-        R,
-        H,
-        eng,
-        backend=backend,
-        keep_local_solutions=keep_local_solutions,
-        share_orbits=share_orbits,
-    )
 
 
 def _local_averaging_vectorized(

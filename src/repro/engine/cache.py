@@ -38,6 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
+from ..obs.statsutil import stats_as_dict
+
 __all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
 
 _MISSING = object()
@@ -87,15 +89,7 @@ class CacheStats:
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dictionary (for tables and JSON reports)."""
-        return {
-            "hits": self.hits,
-            "disk_hits": self.disk_hits,
-            "misses": self.misses,
-            "puts": self.puts,
-            "evictions": self.evictions,
-            "disk_evictions": self.disk_evictions,
-            "invalidations": self.invalidations,
-        }
+        return stats_as_dict(self)
 
 
 @dataclass

@@ -77,6 +77,8 @@ from ..lp.maxmin import (
     solve_maxmin_buffer_batch,
 )
 from ..lp.standard import LPStatus
+from ..obs.statsutil import merge_stats, stats_as_dict
+from ..obs.trace import Tracer, activate, capture_context, get_tracer, span
 from .cache import ResultCache
 from .fingerprint import (
     fingerprint_canonical_requests,
@@ -146,14 +148,7 @@ class EngineStats:
     pool_fallbacks: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {
-            "batches": self.batches,
-            "units": self.units,
-            "executed": self.executed,
-            "dedup_saved": self.dedup_saved,
-            "coalesced": self.coalesced,
-            "pool_fallbacks": self.pool_fallbacks,
-        }
+        return stats_as_dict(self)
 
 
 # ----------------------------------------------------------------------
@@ -192,24 +187,46 @@ class _SolveUnit:
 
 
 def _solve_compiled_chunk(
-    args: Tuple[List[Tuple], str, str],
-) -> Tuple[List[Tuple[str, Optional[Any]]], float, Dict[str, int]]:
+    args: Tuple[List[Tuple], str, str, Optional[Dict[str, Any]]],
+) -> Tuple[List[Tuple[str, Optional[Any]]], float, Dict[str, int], List[Tuple]]:
     """Solve one chunk of compiled reductions as a single batched submission.
 
-    ``args`` is ``(unit_buffers, backend, strategy)`` where each entry of
-    ``unit_buffers`` is :meth:`repro.lp.maxmin.CompiledMaxMin.to_buffers`
-    output.  Returns ``(status_name, x_vector)`` per unit plus the chunk's
-    solve duration and its solver counters (as a plain dict so they travel
-    home from worker processes); interpretation of statuses (and all
-    identifier work) stays in the parent process.
+    ``args`` is ``(unit_buffers, backend, strategy, trace_ctx)`` where each
+    entry of ``unit_buffers`` is
+    :meth:`repro.lp.maxmin.CompiledMaxMin.to_buffers` output.  Returns
+    ``(status_name, x_vector)`` per unit plus the chunk's solve duration,
+    its solver counters (as a plain dict so they travel home from worker
+    processes) and, when ``trace_ctx`` is set, the worker's recorded spans
+    as plain tuples; interpretation of statuses (and all identifier work)
+    stays in the parent process.
+
+    Tracing uses a worker-local :class:`~repro.obs.trace.Tracer`
+    regardless of execution mode — serial, thread and process workers all
+    record into a fresh collector whose spans the parent grafts back under
+    the submitting span (:meth:`~repro.obs.trace.Tracer.reattach`), so a
+    HiGHS call made in a child process lands in the same trace tree as one
+    made inline.  With ``trace_ctx=None`` nothing is recorded anywhere.
     """
-    unit_buffers, backend, strategy = args
+    unit_buffers, backend, strategy, trace_ctx = args
     stats = BatchSolveStats()
     start = time.perf_counter()
-    results = solve_maxmin_buffer_batch(
-        unit_buffers, backend=backend, strategy=strategy, stats=stats
+    if trace_ctx is None:
+        results = solve_maxmin_buffer_batch(
+            unit_buffers, backend=backend, strategy=strategy, stats=stats
+        )
+        return results, time.perf_counter() - start, stats.as_dict(), []
+    local = Tracer()
+    with activate(local):
+        with span("lp.chunk", lps=len(unit_buffers), strategy=strategy):
+            results = solve_maxmin_buffer_batch(
+                unit_buffers, backend=backend, strategy=strategy, stats=stats
+            )
+    return (
+        results,
+        time.perf_counter() - start,
+        stats.as_dict(),
+        local.export_spans(),
     )
-    return results, time.perf_counter() - start, stats.as_dict()
 
 
 class BatchSolver:
@@ -473,30 +490,52 @@ class BatchSolver:
                 solve_indices[s: s + chunk]
                 for s in range(0, len(solve_indices), chunk)
             ]
-            chunk_args = [
-                (
-                    [units[idx].compiled.to_buffers() for idx in chunk_ids],
-                    backend,
-                    strategy,
-                )
-                for chunk_ids in chunks
-            ]
-            chunk_outcomes = self.map(_solve_compiled_chunk, chunk_args)
-            for chunk_ids, (statuses, duration, chunk_stats) in zip(
-                chunks, chunk_outcomes
+            with span(
+                "engine.batch",
+                kind=kind,
+                units=len(solve_indices),
+                chunks=len(chunks),
+                mode=self.mode,
             ):
-                for name, value in chunk_stats.items():
-                    setattr(
-                        self.lp_stats, name, getattr(self.lp_stats, name) + value
+                # Workers record into local tracers and ship spans home as
+                # tuples; the anchor translates their clocks onto ours so a
+                # process worker's HiGHS spans land at (roughly) the time
+                # the chunk was in flight.  Both are None when disabled.
+                trace_ctx = capture_context()
+                tracer = get_tracer() if trace_ctx is not None else None
+                anchor = tracer.now() if tracer is not None else 0.0
+                chunk_args = [
+                    (
+                        [units[idx].compiled.to_buffers() for idx in chunk_ids],
+                        backend,
+                        strategy,
+                        trace_ctx,
                     )
-                share = duration / len(chunk_ids) if chunk_ids else 0.0
-                for idx, (status_name, x_vec) in zip(chunk_ids, statuses):
-                    payloads[idx] = (
-                        self._interpret_unit(
-                            units[idx], status_name, x_vec, kind=kind, backend=backend
-                        ),
-                        share,
-                    )
+                    for chunk_ids in chunks
+                ]
+                chunk_outcomes = self.map(_solve_compiled_chunk, chunk_args)
+                for chunk_ids, (statuses, duration, chunk_stats, spans) in zip(
+                    chunks, chunk_outcomes
+                ):
+                    merge_stats(self.lp_stats, chunk_stats)
+                    if spans and tracer is not None:
+                        tracer.reattach(
+                            spans,
+                            parent_id=tracer.current_span_id(),
+                            anchor=anchor,
+                        )
+                    share = duration / len(chunk_ids) if chunk_ids else 0.0
+                    for idx, (status_name, x_vec) in zip(chunk_ids, statuses):
+                        payloads[idx] = (
+                            self._interpret_unit(
+                                units[idx],
+                                status_name,
+                                x_vec,
+                                kind=kind,
+                                backend=backend,
+                            ),
+                            share,
+                        )
         return payloads  # type: ignore[return-value]
 
     @staticmethod

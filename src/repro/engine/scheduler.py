@@ -33,6 +33,8 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer, span
 from .cache import ResultCache
 from .jobs import JobRecord, RunRegistry
 
@@ -134,7 +136,43 @@ class RequestScheduler:
         unit.  Payloads are returned in the original ``keys`` order; with
         ``details=True`` each entry is ``(payload, source)`` where source is
         ``"cache"``, ``"solved"`` or ``"coalesced"``.
+
+        When tracing is enabled the whole batch runs under an
+        ``engine.schedule`` span tagged with how each deduplicated key was
+        answered; per-source counters also land in the global metrics
+        registry (``engine.requests.cache`` / ``.solved`` / ``.coalesced``).
         """
+        with span(
+            "engine.schedule", kind=kind, units=len(keys)
+        ) as schedule_span:
+            results, sources = self._run_batch(
+                keys, builders, kind=kind, solve=solve
+            )
+            counts: Dict[str, int] = {}
+            for source in sources.values():
+                counts[source] = counts.get(source, 0) + 1
+            schedule_span.tag(**counts)
+        if counts:
+            registry = get_registry()
+            for source, count in counts.items():
+                registry.counter(
+                    f"engine.requests.{source}",
+                    "scheduler requests by answer source",
+                ).inc(count)
+
+        if details:
+            return [(results[key], sources[key]) for key in keys]
+        return [results[key] for key in keys]
+
+    def _run_batch(
+        self,
+        keys: Sequence[str],
+        builders: Sequence[Callable[[], Any]],
+        *,
+        kind: str,
+        solve: Callable[[List[Any]], Sequence[Tuple[Any, float]]],
+    ) -> Tuple[Dict[str, Any], Dict[str, str]]:
+        """The request loop of :meth:`run`: payload and source per key."""
         self.stats.batches += 1
         self.stats.units += len(keys)
         first_index: Dict[str, int] = {}
@@ -201,9 +239,7 @@ class RequestScheduler:
                 record = self.registry.new_job(kind, key)
                 self.registry.finish_job(record, cached=True)
 
-        if details:
-            return [(results[key], sources[key]) for key in keys]
-        return [results[key] for key in keys]
+        return results, sources
 
     def _solve_owned(
         self,
@@ -214,12 +250,20 @@ class RequestScheduler:
         kind: str,
         solve: Callable[[List[Any]], Sequence[Tuple[Any, float]]],
     ) -> None:
-        """Solve the units we claimed; store, publish and record each one."""
+        """Solve the units we claimed; store, publish and record each one.
+
+        With tracing enabled, the per-stage time totals of the spans this
+        solve produced are persisted into every job record's ``meta``
+        (``stage_timings``), so a saved :class:`RunRegistry` carries the
+        stage breakdown of each batch alongside its durations.
+        """
         flights = dict(owned)
         records: List[Optional[JobRecord]] = [
             self.registry.new_job(kind, key) if self.registry is not None else None
             for key, _ in pending
         ]
+        tracer = get_tracer() if self.registry is not None else None
+        mark = tracer.mark() if tracer is not None else 0
         try:
             outcomes = solve([unit for _, unit in pending])
         except Exception as exc:
@@ -230,6 +274,9 @@ class RequestScheduler:
                 if flight is not None:
                     flight.fail(exc)
             raise
+        stage_timings = (
+            tracer.stage_totals(since=mark) if tracer is not None else None
+        )
         for (key, _), record, (payload, duration) in zip(pending, records, outcomes):
             self.stats.executed += 1
             if self.cache is not None:
@@ -239,4 +286,6 @@ class RequestScheduler:
             if flight is not None:
                 flight.publish(payload)
             if record is not None:
+                if stage_timings:
+                    record.meta["stage_timings"] = stage_timings
                 self.registry.finish_job(record, duration_s=duration)

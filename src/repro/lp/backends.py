@@ -25,12 +25,15 @@ from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from typing import Callable, Dict, Iterator, List
 
 import numpy as np
 from scipy.optimize import linprog
 
 from ..exceptions import SolverError
+from ..obs.metrics import get_registry
+from ..obs.trace import span as _span
 from .simplex import solve_simplex
 from .standard import LinearProgram, LPResult, LPStatus
 
@@ -120,15 +123,27 @@ def call_highs(lp: LinearProgram):
         with _global_lock:
             for counter in _global_counters:
                 counter.calls += 1
-    return linprog(
-        c=lp.c,
-        A_ub=lp.A_ub,
-        b_ub=lp.b_ub,
-        A_eq=lp.A_eq,
-        b_eq=lp.b_eq,
-        bounds=lp.bounds,
-        method="highs",
+    registry = get_registry()
+    registry.counter("lp.highs.calls", "HiGHS invocations").inc()
+    start = time.perf_counter()
+    with _span(
+        "lp.highs",
+        variables=lp.n_variables,
+        constraints=lp.n_inequalities + lp.n_equalities,
+    ):
+        result = linprog(
+            c=lp.c,
+            A_ub=lp.A_ub,
+            b_ub=lp.b_ub,
+            A_eq=lp.A_eq,
+            b_eq=lp.b_eq,
+            bounds=lp.bounds,
+            method="highs",
+        )
+    registry.histogram("lp.highs.seconds", "HiGHS call latency").observe(
+        time.perf_counter() - start
     )
+    return result
 
 
 def _solve_scipy(lp: LinearProgram) -> LPResult:

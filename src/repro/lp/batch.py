@@ -55,6 +55,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..exceptions import SolverError
+from ..obs.statsutil import stats_as_dict
+from ..obs.trace import span
 from .backends import DEFAULT_BACKEND, call_highs, solve_lp
 from .simplex import _simplex_core
 from .standard import LinearProgram, LPResult, LPStatus
@@ -104,15 +106,7 @@ class BatchSolveStats:
     warm_rejected: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {
-            "batches": self.batches,
-            "lps": self.lps,
-            "stacked_calls": self.stacked_calls,
-            "fallback_solves": self.fallback_solves,
-            "groups": self.groups,
-            "warm_started": self.warm_started,
-            "warm_rejected": self.warm_rejected,
-        }
+        return stats_as_dict(self)
 
 
 # ----------------------------------------------------------------------
@@ -224,13 +218,14 @@ def _solve_stacked_chunk(
     lps: Sequence[LinearProgram], stats: BatchSolveStats
 ) -> List[LPResult]:
     """One HiGHS call for the chunk; exact per-LP fallback on failure."""
-    stacked, offsets = stack_block_diagonal(lps)
-    stats.stacked_calls += 1
-    try:
-        result = call_highs(stacked)
-        status = int(result.status)
-    except Exception:
-        status = -1
+    with span("lp.stacked", lps=len(lps)):
+        stacked, offsets = stack_block_diagonal(lps)
+        stats.stacked_calls += 1
+        try:
+            result = call_highs(stacked)
+            status = int(result.status)
+        except Exception:
+            status = -1
     if status == 0:
         xs = split_stacked_solution(lps, np.asarray(result.x), offsets)
         return [

@@ -1,0 +1,45 @@
+"""Shared helpers for the pipeline's counter dataclasses.
+
+``EngineStats``, ``CacheStats`` and ``BatchSolveStats`` each hand-rolled
+the same two methods: dump every field to a dict, and merge another
+instance field-by-field.  Both derive mechanically from
+``dataclasses.fields``, so they live here once.  Field declaration order
+is preserved, which keeps the public ``as_dict()`` shapes bit-identical
+to the hand-written versions they replace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, Mapping, Union
+
+__all__ = ["stats_as_dict", "merge_stats"]
+
+
+def stats_as_dict(stats: Any) -> Dict[str, Any]:
+    """Dump a stats dataclass to a plain dict in field declaration order."""
+    return {
+        field.name: getattr(stats, field.name)
+        for field in dataclasses.fields(stats)
+    }
+
+
+def merge_stats(into: Any, source: Union[Any, Mapping[str, Any]]) -> Any:
+    """Add ``source``'s counters into ``into`` field-by-field.
+
+    ``source`` may be another instance of the same dataclass or a mapping
+    (e.g. an ``as_dict()`` payload shipped back from a process worker).
+    Unknown mapping keys are ignored so older payload shapes stay
+    mergeable; returns ``into`` for chaining.
+    """
+    if isinstance(source, Mapping):
+        lookup = source.get
+    else:
+        def lookup(name: str, default: int = 0) -> Any:
+            return getattr(source, name, default)
+
+    for field in dataclasses.fields(into):
+        increment = lookup(field.name, 0)
+        if increment:
+            setattr(into, field.name, getattr(into, field.name) + increment)
+    return into

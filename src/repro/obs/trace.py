@@ -1,0 +1,481 @@
+"""Hierarchical tracing: spans from HTTP request down to individual HiGHS calls.
+
+The tracer is the measurement substrate of the whole solve path.  Every
+pipeline stage wraps itself in a span::
+
+    with span("views.batch_balls", sources=n, radius=R):
+        ...
+
+and when a :class:`Tracer` is active the spans form a tree — the HTTP
+request (or suite run) at the root, the per-scenario work below it, the
+engine batches below that, down to each ``call_highs`` entry.  When no
+tracer is active, :func:`span` returns a shared no-op handle: the cost of
+an instrumentation point is one module-global integer check and the
+keyword-dict construction, which is invisible next to even the
+cheapest traced operation (the overhead benchmark in
+``benchmarks/test_bench_obs.py`` asserts this stays under 2% of the warm
+serve path).
+
+Design points
+-------------
+* **Thread safety** — finished spans are appended to one list under a
+  lock; the *current* span stack is thread-local, so concurrent request
+  threads (the serving layer) each grow their own subtree of one shared
+  tracer without interleaving parents.
+* **Context propagation** — :func:`capture_context` snapshots the calling
+  thread's current span; a worker (another thread, or a whole other
+  process) records into a fresh local :class:`Tracer` and ships its spans
+  back as plain tuples (:meth:`Tracer.export_spans`), which the parent
+  re-attaches under the captured span (:meth:`Tracer.reattach`) with
+  re-based timestamps.  The engine's chunk worker does exactly this, so
+  HiGHS-call spans from process-mode workers land under the right engine
+  batch in the final trace.
+* **Export** — :meth:`Tracer.chrome_trace` renders the span tree in the
+  Chrome ``trace_event`` JSON format (loadable in Perfetto or
+  ``about:tracing``); ``args`` carries the span/parent ids so the
+  ``repro obs summary`` CLI can rebuild exact nesting without guessing
+  from timestamps.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate",
+    "capture_context",
+    "get_tracer",
+    "set_global_tracer",
+    "span",
+    "stage_summary",
+    "tracing",
+]
+
+
+class Span:
+    """One finished (or in-flight) span of a :class:`Tracer`.
+
+    ``start``/``end`` are seconds relative to the owning tracer's epoch
+    (:func:`time.perf_counter` based, so durations are monotonic).
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "end", "tags", "tid")
+
+    def __init__(
+        self,
+        span_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+        tags: Dict[str, Any],
+        tid: int,
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end = start
+        self.tags = tags
+        self.tid = tid
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "tags": dict(self.tags),
+            "tid": self.tid,
+        }
+
+
+class _SpanHandle:
+    """Context manager that opens/closes one span on its tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def tag(self, **tags: Any) -> "_SpanHandle":
+        """Attach tags discovered mid-span (e.g. the request's source)."""
+        self._span.tags.update(tags)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        self._tracer._push(self._span)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._tracer._pop(self._span)
+
+
+class _NullSpan:
+    """The shared no-op handle returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def tag(self, **tags: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a tree of spans; one instance per trace.
+
+    Spans are recorded with :meth:`span` (usually through the module-level
+    :func:`span`, which resolves the active tracer).  Finished spans are
+    kept in completion order; :meth:`spans` returns them start-ordered.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._next_id = 1
+        self._local = threading.local()
+        self.epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def now(self) -> float:
+        """Seconds since this tracer's epoch."""
+        return time.perf_counter() - self.epoch
+
+    def span(self, name: str, **tags: Any) -> _SpanHandle:
+        """A context manager recording one span under the current one."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else self._foreign_parent()
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        record = Span(
+            span_id, parent, name, self.now(), tags, threading.get_ident()
+        )
+        return _SpanHandle(self, record)
+
+    def _foreign_parent(self) -> Optional[int]:
+        return getattr(self._local, "foreign_parent", None)
+
+    def _push(self, record: Span) -> None:
+        record.start = self.now()
+        self._stack().append(record)
+
+    def _pop(self, record: Span) -> None:
+        record.end = self.now()
+        stack = self._stack()
+        if stack and stack[-1] is record:
+            stack.pop()
+        else:  # pragma: no cover - misnested exit; drop without corrupting
+            try:
+                stack.remove(record)
+            except ValueError:
+                pass
+        with self._lock:
+            self._spans.append(record)
+
+    @contextlib.contextmanager
+    def attach(self, parent_id: Optional[int]) -> Iterator[None]:
+        """Make ``parent_id`` the root parent for this thread's new spans.
+
+        This is how a worker *thread* (same process, same tracer) grafts
+        its spans under the span that submitted the work: the submitting
+        thread captures its context, the worker attaches it.
+        """
+        previous = getattr(self._local, "foreign_parent", None)
+        self._local.foreign_parent = parent_id
+        try:
+            yield
+        finally:
+            self._local.foreign_parent = previous
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def current_span_id(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def spans(self) -> List[Span]:
+        """Finished spans, ordered by start time."""
+        with self._lock:
+            records = list(self._spans)
+        return sorted(records, key=lambda s: (s.start, s.span_id))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def mark(self) -> int:
+        """Bookmark into the finished-span list (see :meth:`stage_totals`)."""
+        with self._lock:
+            return len(self._spans)
+
+    def stage_totals(self, since: int = 0) -> Dict[str, float]:
+        """Total seconds per span name over spans finished after ``since``.
+
+        The lightweight per-job summary the scheduler persists into
+        :class:`~repro.engine.jobs.JobRecord` metadata; totals are
+        *inclusive* durations (use :func:`stage_summary` for self-time
+        breakdowns of a whole trace).
+        """
+        with self._lock:
+            window = self._spans[since:]
+        totals: Dict[str, float] = {}
+        for record in window:
+            totals[record.name] = totals.get(record.name, 0.0) + record.duration
+        return {name: round(value, 6) for name, value in sorted(totals.items())}
+
+    # ------------------------------------------------------------------
+    # Worker round-trips
+    # ------------------------------------------------------------------
+    def export_spans(self) -> List[Tuple]:
+        """Every finished span as plain tuples (picklable, JSON-friendly)."""
+        with self._lock:
+            return [
+                (s.span_id, s.parent_id, s.name, s.start, s.end, s.tags, s.tid)
+                for s in self._spans
+            ]
+
+    def reattach(
+        self,
+        payload: Sequence[Tuple],
+        *,
+        parent_id: Optional[int],
+        anchor: float,
+    ) -> None:
+        """Graft a worker tracer's exported spans into this trace.
+
+        ``payload`` is :meth:`export_spans` output of a tracer whose epoch
+        corresponds to ``anchor`` seconds on *this* tracer's clock (the
+        parent captures ``tracer.now()`` when it hands work off).  Span ids
+        are re-issued from this tracer's counter; spans that were roots in
+        the worker become children of ``parent_id``.
+        """
+        if not payload:
+            return
+        with self._lock:
+            id_map: Dict[int, int] = {}
+            for old_id, _old_parent, _n, _s, _e, _t, _tid in payload:
+                id_map[old_id] = self._next_id
+                self._next_id += 1
+            for old_id, old_parent, name, start, end, tags, tid in payload:
+                record = Span(
+                    id_map[old_id],
+                    id_map.get(old_parent, parent_id)
+                    if old_parent is not None
+                    else parent_id,
+                    name,
+                    anchor + start,
+                    dict(tags),
+                    tid,
+                )
+                record.end = anchor + end
+                self._spans.append(record)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The trace in Chrome ``trace_event`` format (Perfetto-loadable).
+
+        Every event is a complete ``"X"`` slice; ``args`` carries the tags
+        plus the span/parent ids so nesting survives the round-trip exactly
+        (``repro obs summary`` relies on it).
+        """
+        events: List[Dict[str, Any]] = []
+        pid = os.getpid()
+        for record in self.spans():
+            args = {str(k): v for k, v in record.tags.items()}
+            args["span_id"] = record.span_id
+            if record.parent_id is not None:
+                args["parent_id"] = record.parent_id
+            events.append(
+                {
+                    "name": record.name,
+                    "cat": record.name.split(".", 1)[0],
+                    "ph": "X",
+                    "ts": round(record.start * 1e6, 3),
+                    "dur": round(record.duration * 1e6, 3),
+                    "pid": pid,
+                    "tid": record.tid,
+                    "args": args,
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# Active-tracer management
+# ----------------------------------------------------------------------
+_GLOBAL_TRACER: Optional[Tracer] = None
+_THREAD = threading.local()
+
+#: Count of live tracer installations (the global tracer plus every
+#: thread-local :func:`activate` override).  The disabled fast path of
+#: :func:`span` checks this plain module global instead of touching the
+#: thread-local — a ``threading.local`` attribute read costs several
+#: hundred nanoseconds, the global load a few tens.
+_ACTIVE_COUNT = 0
+_ACTIVE_LOCK = threading.Lock()
+
+
+def _adjust_active(delta: int) -> None:
+    global _ACTIVE_COUNT
+    if delta:
+        with _ACTIVE_LOCK:
+            _ACTIVE_COUNT += delta
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The active tracer: this thread's override, else the global one."""
+    override = getattr(_THREAD, "tracer", None)
+    if override is not None:
+        return override
+    return _GLOBAL_TRACER
+
+
+def set_global_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or clear) the process-global tracer; returns the previous."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    _adjust_active((tracer is not None) - (previous is not None))
+    return previous
+
+
+@contextlib.contextmanager
+def activate(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Make ``tracer`` this thread's active tracer for the block.
+
+    A thread-local override: worker threads and per-request debug traces
+    use it so their spans go to the right collector without touching the
+    global tracer other threads see.  A ``None`` override is a no-op (it
+    does *not* suppress the global tracer).
+    """
+    previous = getattr(_THREAD, "tracer", None)
+    _THREAD.tracer = tracer
+    _adjust_active((tracer is not None) - (previous is not None))
+    try:
+        yield tracer
+    finally:
+        _THREAD.tracer = previous
+        _adjust_active((previous is not None) - (tracer is not None))
+
+
+@contextlib.contextmanager
+def tracing() -> Iterator[Tracer]:
+    """Enable a fresh global tracer for the block; yields it.
+
+    The CLI's ``repro trace run`` wraps a whole suite in this; tests use it
+    for one traced workload at a time.
+    """
+    tracer = Tracer()
+    previous = set_global_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_global_tracer(previous)
+
+
+def span(name: str, **tags: Any):
+    """Record a span on the active tracer; a shared no-op when disabled.
+
+    This is the only function instrumentation points call.  The disabled
+    path is one module-global integer check plus the caller's keyword
+    dict, returning a process-wide singleton handle — it never touches
+    the (much slower) thread-local storage.
+    """
+    if not _ACTIVE_COUNT:
+        return _NULL_SPAN
+    tracer = getattr(_THREAD, "tracer", None)
+    if tracer is None:
+        tracer = _GLOBAL_TRACER
+        if tracer is None:
+            return _NULL_SPAN
+    return tracer.span(name, **tags)
+
+
+def capture_context() -> Optional[Dict[str, Any]]:
+    """Snapshot the calling thread's span context for a worker hand-off.
+
+    Returns ``None`` when tracing is disabled — workers receiving ``None``
+    skip all recording, keeping the disabled path free on their side too.
+    """
+    tracer = get_tracer()
+    if tracer is None:
+        return None
+    return {"parent": tracer.current_span_id()}
+
+
+# ----------------------------------------------------------------------
+# Stage summaries
+# ----------------------------------------------------------------------
+def stage_summary(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """Per-stage breakdown of a span tree: count, total, self time, p99.
+
+    ``total_s`` is the inclusive duration summed over a stage's spans;
+    ``self_s`` subtracts the time spent in *direct child* spans, so the
+    self times of all stages sum exactly to the root spans' total — the
+    invariant the acceptance benchmark checks against wall time.  ``p50`` /
+    ``p99`` are per-span inclusive durations in milliseconds.
+    """
+    child_time: Dict[int, float] = {}
+    for record in spans:
+        if record.parent_id is not None:
+            child_time[record.parent_id] = (
+                child_time.get(record.parent_id, 0.0) + record.duration
+            )
+    stages: Dict[str, Dict[str, Any]] = {}
+    for record in spans:
+        entry = stages.setdefault(
+            record.name, {"count": 0, "total_s": 0.0, "self_s": 0.0, "durs": []}
+        )
+        entry["count"] += 1
+        entry["total_s"] += record.duration
+        entry["self_s"] += record.duration - child_time.get(record.span_id, 0.0)
+        entry["durs"].append(record.duration)
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(stages, key=lambda n: -stages[n]["total_s"]):
+        entry = stages[name]
+        durs = sorted(entry.pop("durs"))
+        rows.append(
+            {
+                "stage": name,
+                "count": entry["count"],
+                "total_s": round(entry["total_s"], 6),
+                "self_s": round(max(entry["self_s"], 0.0), 6),
+                "p50_ms": round(durs[len(durs) // 2] * 1e3, 3),
+                "p99_ms": round(
+                    durs[min(len(durs) - 1, int(len(durs) * 0.99))] * 1e3, 3
+                ),
+            }
+        )
+    return rows

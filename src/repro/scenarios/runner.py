@@ -49,6 +49,7 @@ from ..engine.cache import ResultCache
 from ..engine.executor import BatchSolver
 from ..engine.jobs import RunRegistry
 from ..hypergraph.communication import communication_hypergraph
+from ..obs.trace import span
 from .registry import build_instance, validate_spec
 from .spec import ScenarioGrid, ScenarioSpec, SuiteSpec
 
@@ -306,54 +307,65 @@ class SuiteRunner:
         scenarios = self.expand(suite)
         problems: List[MaxMinLP] = [build_instance(spec) for spec in scenarios]
 
-        by_backend: Dict[str, List[int]] = {}
-        for idx, spec in enumerate(scenarios):
-            by_backend.setdefault(spec.backend, []).append(idx)
-        optima: Dict[int, float] = {}
-        for backend, indices in by_backend.items():
-            batch = self.engine.solve_maxmin_batch(
-                [problems[idx] for idx in indices], backend=backend
-            )
-            for idx, solved in zip(indices, batch):
-                optima[idx] = float(solved.objective)
+        with span("suite.optima", scenarios=len(scenarios)):
+            by_backend: Dict[str, List[int]] = {}
+            for idx, spec in enumerate(scenarios):
+                by_backend.setdefault(spec.backend, []).append(idx)
+            optima: Dict[int, float] = {}
+            for backend, indices in by_backend.items():
+                batch = self.engine.solve_maxmin_batch(
+                    [problems[idx] for idx in indices], backend=backend
+                )
+                for idx, solved in zip(indices, batch):
+                    optima[idx] = float(solved.objective)
 
         for idx, (spec, problem) in enumerate(zip(scenarios, problems)):
             start = time.perf_counter()
-            optimum = optima[idx]
-            # One sparse pass for every agent's safe value; the dict form is
-            # never needed here, only the achieved objective.
-            safe_objective = float(problem.objective(safe_values_array(problem)))
-            hypergraph = communication_hypergraph(problem) if spec.radii else None
-            radius_results: List[RadiusResult] = []
-            for R in spec.radii:
-                averaged = local_averaging_solution(
-                    problem,
-                    R,
-                    backend=spec.backend,
-                    hypergraph=hypergraph,
-                    engine=self.engine,
-                    share_orbits=self.share_orbits,
+            # The span closes before the yield: consumers may pause the
+            # generator indefinitely, and their time is not scenario work.
+            with span(
+                "suite.scenario", scenario=spec.scenario_id, agents=problem.n_agents
+            ):
+                optimum = optima[idx]
+                # One sparse pass for every agent's safe value; the dict
+                # form is never needed here, only the achieved objective.
+                safe_objective = float(
+                    problem.objective(safe_values_array(problem))
                 )
-                radius_results.append(
-                    RadiusResult(
-                        R=R,
-                        objective=float(averaged.objective),
-                        ratio=approximation_ratio(optimum, averaged.objective),
-                        proven_ratio_bound=float(averaged.proven_ratio_bound),
+                hypergraph = (
+                    communication_hypergraph(problem) if spec.radii else None
+                )
+                radius_results: List[RadiusResult] = []
+                for R in spec.radii:
+                    averaged = local_averaging_solution(
+                        problem,
+                        R,
+                        backend=spec.backend,
+                        hypergraph=hypergraph,
+                        engine=self.engine,
+                        share_orbits=self.share_orbits,
                     )
+                    radius_results.append(
+                        RadiusResult(
+                            R=R,
+                            objective=float(averaged.objective),
+                            ratio=approximation_ratio(optimum, averaged.objective),
+                            proven_ratio_bound=float(averaged.proven_ratio_bound),
+                        )
+                    )
+                result = ScenarioResult(
+                    spec=spec,
+                    n_agents=problem.n_agents,
+                    n_resources=problem.n_resources,
+                    n_beneficiaries=problem.n_beneficiaries,
+                    optimum=optimum,
+                    safe_objective=safe_objective,
+                    safe_ratio=approximation_ratio(optimum, safe_objective),
+                    safe_guarantee=float(safe_approximation_guarantee(problem)),
+                    radii=tuple(radius_results),
+                    seconds=time.perf_counter() - start,
                 )
-            yield ScenarioResult(
-                spec=spec,
-                n_agents=problem.n_agents,
-                n_resources=problem.n_resources,
-                n_beneficiaries=problem.n_beneficiaries,
-                optimum=optimum,
-                safe_objective=safe_objective,
-                safe_ratio=approximation_ratio(optimum, safe_objective),
-                safe_guarantee=float(safe_approximation_guarantee(problem)),
-                radii=tuple(radius_results),
-                seconds=time.perf_counter() - start,
-            )
+            yield result
 
     def run_suite(
         self,
@@ -371,10 +383,11 @@ class SuiteRunner:
             suite = _as_suite(suite)
         start = time.perf_counter()
         results = []
-        for result in self.run(suite):
-            results.append(result)
-            if on_result is not None:
-                on_result(result)
+        with span("suite.run", suite=suite.name):
+            for result in self.run(suite):
+                results.append(result)
+                if on_result is not None:
+                    on_result(result)
         report = SuiteReport(
             suite=suite,
             results=results,

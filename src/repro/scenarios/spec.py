@@ -298,8 +298,11 @@ class ScenarioGrid:
     def __post_init__(self) -> None:
         if not self.family or not isinstance(self.family, str):
             raise ValueError("family must be a non-empty string")
+        # Axes are stored (and therefore expanded) in sorted key order, so
+        # the expansion order survives a JSON round trip — ``to_json`` sorts
+        # keys, and a reloaded grid must enumerate the same product order.
         axes: Dict[str, List[Any]] = {}
-        for key, choices in (self.params or {}).items():
+        for key, choices in sorted((self.params or {}).items(), key=lambda kv: str(kv[0])):
             # Only *lists* denote an axis of choices; a tuple (or any other
             # value) is a single literal parameter value, so shapes like
             # ``(6, 6)`` read naturally.  JSON grid files always use lists
@@ -346,9 +349,10 @@ class ScenarioGrid:
     def expand(self) -> Iterator[ScenarioSpec]:
         """Yield the cartesian product of the parameter axes and seeds.
 
-        The order is deterministic: axes iterate in insertion order, the
-        rightmost axis fastest, seeds innermost — the order a nested loop
-        over the block as written would produce.
+        The order is deterministic: axes iterate in sorted key order (the
+        canonical storage order, stable across JSON round trips), the
+        rightmost axis fastest, seeds innermost — a nested loop over the
+        sorted axes.
         """
         keys = list(self.params)
         combos: List[Dict[str, Any]] = [{}]

@@ -5,6 +5,8 @@ Endpoints
 ``POST /solve``
     Body: one :meth:`ScenarioSpec.to_json` document.  Response: one JSON
     envelope ``{"scenario_id", "source", "cached", "seconds", "result"}``.
+    With ``?debug=trace`` the envelope also carries a ``"trace"`` key: the
+    request's per-stage span summary (see :mod:`repro.obs`).
 ``POST /suite``
     Body: one :meth:`SuiteSpec.to_json` document.  Response: NDJSON --
     one ``{"type": "result", ...}`` line per scenario, streamed as each is
@@ -12,7 +14,10 @@ Endpoints
     close-delimited (``Connection: close``), so clients just read lines
     until EOF.
 ``GET /metrics`` / ``GET /healthz``
-    JSON observability snapshots (see :meth:`SolverService.metrics`).
+    Observability snapshots (see :meth:`SolverService.metrics`): JSON by
+    default; ``/metrics?format=prometheus`` returns the text exposition
+    format with its proper Content-Type, and an unknown ``format=`` value
+    is a 400.
 
 Error contract: caller mistakes (malformed JSON, schema violations,
 unknown families) are **400** with ``{"error": {"type": "bad_request",
@@ -30,9 +35,11 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
+from ..obs.trace import span
 from .service import ServeRequestError, SolverService
 
 __all__ = ["DEFAULT_PORT", "MAX_BODY_BYTES", "ReproServer"]
@@ -64,12 +71,28 @@ class _Handler(BaseHTTPRequestHandler):
     # Response helpers
     # ------------------------------------------------------------------
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
-        body = (json.dumps(payload) + "\n").encode("utf-8")
+        self._send_body(
+            status, (json.dumps(payload) + "\n").encode("utf-8"),
+            "application/json",
+        )
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _split_path(self) -> Tuple[str, Dict[str, str]]:
+        """Path and flattened (last-value-wins) query of the request."""
+        parts = urlsplit(self.path)
+        query = {
+            key: values[-1]
+            for key, values in parse_qs(
+                parts.query, keep_blank_values=True
+            ).items()
+        }
+        return parts.path, query
 
     def _send_error_json(self, status: int, type_: str, message: str) -> None:
         self.service.count_error()
@@ -101,19 +124,20 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:
         try:
-            if self.path == "/healthz":
+            path, query = self._split_path()
+            if path == "/healthz":
                 self._send_json(200, self.service.healthz())
-            elif self.path == "/metrics":
-                self._send_json(200, self.service.metrics())
-            elif self.path in ("/solve", "/suite"):
+            elif path == "/metrics":
+                self._serve_metrics(query)
+            elif path in ("/solve", "/suite"):
                 self._send_error_json(
-                    405, "method_not_allowed", f"{self.path} requires POST"
+                    405, "method_not_allowed", f"{path} requires POST"
                 )
             else:
                 self._send_error_json(
                     404,
                     "not_found",
-                    f"unknown path {self.path!r}; endpoints: "
+                    f"unknown path {path!r}; endpoints: "
                     "POST /solve, POST /suite, GET /metrics, GET /healthz",
                 )
         except (BrokenPipeError, ConnectionResetError):  # client went away
@@ -121,12 +145,38 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             self._internal_error(exc)
 
+    def _serve_metrics(self, query: Dict[str, str]) -> None:
+        """``GET /metrics``: JSON by default, ``?format=prometheus`` for
+        text exposition; an unrecognised format is the caller's error."""
+        fmt = query.get("format", "json")
+        if fmt == "json":
+            self._send_json(200, self.service.metrics())
+        elif fmt == "prometheus":
+            self._send_body(
+                200,
+                self.service.render_prometheus().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        else:
+            self._send_error_json(
+                400,
+                "bad_request",
+                f"unknown metrics format {fmt!r}; expected "
+                "'json' or 'prometheus'",
+            )
+
     def do_POST(self) -> None:
         streaming = False
         try:
-            if self.path == "/solve":
-                self._send_json(200, self.service.solve_scenario_json(self._read_body()))
-            elif self.path == "/suite":
+            path, query = self._split_path()
+            if path == "/solve":
+                debug_trace = query.get("debug") == "trace"
+                with span("http.request", method="POST", path=path):
+                    envelope = self.service.solve_scenario_json(
+                        self._read_body(), debug_trace=debug_trace
+                    )
+                self._send_json(200, envelope)
+            elif path == "/suite":
                 # Parse + validate the whole suite *before* committing to a
                 # 200: ServeRequestError here still becomes a clean 400.
                 stream = self.service.iter_suite_json(self._read_body())
@@ -135,18 +185,21 @@ class _Handler(BaseHTTPRequestHandler):
                 self.send_header("Content-Type", "application/x-ndjson")
                 self.send_header("Connection", "close")
                 self.end_headers()
-                for record in stream:
-                    self.wfile.write((json.dumps(record) + "\n").encode("utf-8"))
-                    self.wfile.flush()
-            elif self.path in ("/metrics", "/healthz"):
+                with span("http.request", method="POST", path=path):
+                    for record in stream:
+                        self.wfile.write(
+                            (json.dumps(record) + "\n").encode("utf-8")
+                        )
+                        self.wfile.flush()
+            elif path in ("/metrics", "/healthz"):
                 self._send_error_json(
-                    405, "method_not_allowed", f"{self.path} requires GET"
+                    405, "method_not_allowed", f"{path} requires GET"
                 )
             else:
                 self._send_error_json(
                     404,
                     "not_found",
-                    f"unknown path {self.path!r}; endpoints: "
+                    f"unknown path {path!r}; endpoints: "
                     "POST /solve, POST /suite, GET /metrics, GET /healthz",
                 )
         except ServeRequestError as exc:

@@ -30,6 +30,7 @@ unknown-family message lists the registry's valid families.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import threading
 import time
@@ -43,10 +44,17 @@ from ..engine.jobs import RunRegistry
 from ..engine.scheduler import SOURCE_SOLVED, RequestScheduler
 from ..exceptions import ScenarioError
 from ..lp.backends import count_highs_calls
+from ..obs.metrics import get_registry, render_prometheus
+from ..obs.trace import Tracer, activate, stage_summary
+from ..obs.trace import span as trace_span
 from ..scenarios.runner import SuiteRunner
 from ..scenarios.spec import ScenarioSpec, SuiteSpec
 
 __all__ = ["ServeRequestError", "SolverService", "scenario_request_key"]
+
+#: Shared stateless stand-in for the request-local tracer activation when
+#: no ``debug_trace`` was asked for.
+_NULL_CONTEXT = contextlib.nullcontext()
 
 
 class ServeRequestError(ValueError):
@@ -231,36 +239,71 @@ class SolverService:
             outcomes.append((payload, time.perf_counter() - start))
         return outcomes
 
-    def solve_scenario(self, spec: ScenarioSpec) -> Dict[str, Any]:
+    def solve_scenario(
+        self, spec: ScenarioSpec, *, debug_trace: bool = False
+    ) -> Dict[str, Any]:
         """Solve one (already validated) scenario; returns the envelope.
 
         The envelope is ``{"scenario_id", "source", "cached", "seconds",
         "result"}`` where ``source`` is ``"cache"``, ``"solved"`` or
         ``"coalesced"`` and ``result`` is the deterministic
         :meth:`~repro.scenarios.runner.ScenarioResult.as_dict` payload.
+
+        Every request runs under a ``serve.request`` span tagged with its
+        answer source, and its latency lands in the
+        ``serve.request.seconds`` histogram of the global metrics registry
+        (per-source counts in ``serve.requests.<source>``).  With
+        ``debug_trace`` the request records into its own request-local
+        tracer and the envelope gains a ``"trace"`` key with the per-stage
+        breakdown — spans of a debug request therefore live in their own
+        trace, not in any globally active one.
         """
         with self._metrics_lock:
             self._requests["scenario"] += 1
         key = scenario_request_key(spec, lp_strategy=self.lp_strategy)
         start = time.perf_counter()
-        ((payload, source),) = self.scheduler.run(
-            [key],
-            [lambda: spec],
-            kind="serve_scenario",
-            solve=self._solve_specs,
-            details=True,
-        )
-        return {
+        request_tracer = Tracer() if debug_trace else None
+        with activate(request_tracer) if debug_trace else _NULL_CONTEXT:
+            with trace_span(
+                "serve.request", scenario=spec.scenario_id
+            ) as request_span:
+                ((payload, source),) = self.scheduler.run(
+                    [key],
+                    [lambda: spec],
+                    kind="serve_scenario",
+                    solve=self._solve_specs,
+                    details=True,
+                )
+                request_span.tag(source=source)
+        seconds = time.perf_counter() - start
+        registry = get_registry()
+        registry.histogram(
+            "serve.request.seconds", "scenario request latency"
+        ).observe(seconds)
+        registry.counter(
+            f"serve.requests.{source}", "scenario requests by answer source"
+        ).inc()
+        envelope = {
             "scenario_id": spec.scenario_id,
             "source": source,
             "cached": source != SOURCE_SOLVED,
-            "seconds": time.perf_counter() - start,
+            "seconds": seconds,
             "result": payload,
         }
+        if request_tracer is not None:
+            envelope["trace"] = {
+                "spans": len(request_tracer),
+                "stages": stage_summary(request_tracer.spans()),
+            }
+        return envelope
 
-    def solve_scenario_json(self, text: str) -> Dict[str, Any]:
+    def solve_scenario_json(
+        self, text: str, *, debug_trace: bool = False
+    ) -> Dict[str, Any]:
         """``POST /solve`` semantics: parse, validate, solve, envelope."""
-        return self.solve_scenario(self.parse_scenario(text))
+        return self.solve_scenario(
+            self.parse_scenario(text), debug_trace=debug_trace
+        )
 
     def iter_suite_json(self, text: str) -> Iterator[Dict[str, Any]]:
         """``POST /suite`` semantics: one result record per scenario.
@@ -341,3 +384,14 @@ class SolverService:
             "highs": {"total": total, "window": window},
         }
         return payload
+
+    def render_prometheus(self) -> str:
+        """``GET /metrics?format=prometheus``: text exposition format.
+
+        Combines the global metrics registry (request latency histogram,
+        HiGHS call counters, per-source request counters) with the nested
+        :meth:`metrics` snapshot, whose numeric leaves flatten to
+        ``repro_``-prefixed gauges.  Note :meth:`metrics` advances the
+        ``highs.window`` scrape delta, exactly as a JSON scrape would.
+        """
+        return render_prometheus(get_registry(), extra=self.metrics())

@@ -46,6 +46,7 @@ import scipy.sparse as sp
 from ..core.problem import Agent, Beneficiary, MaxMinLP, Resource
 from ..hypergraph.communication import communication_hypergraph
 from ..hypergraph.hypergraph import Hypergraph, ragged_gather
+from ..obs.trace import span
 from .balls import ball_membership
 
 __all__ = ["ViewAtlas"]
@@ -222,6 +223,10 @@ class ViewAtlas:
     def _ensure_structures(self) -> None:
         if self._structures_ready:
             return
+        with span("views.atlas.structures", views=self.membership.shape[0]):
+            self._build_structures()
+
+    def _build_structures(self) -> None:
         problem = self.problem
         P = self.membership
         n_rows = P.shape[0]
@@ -575,6 +580,11 @@ class ViewAtlas:
         if self._forms is not None and self._forms_index is index:
             return self._forms
         self._ensure_structures()
+        with span("canon.forms", views=self.n_views):
+            return self._compute_canonical_forms(index)
+
+    def _compute_canonical_forms(self, index) -> Dict[Agent, "CanonicalForm"]:
+        """The uncached work of :meth:`canonical_forms` (one traced span)."""
         P_indptr = self.membership.indptr
         n_rows = self.n_views
 

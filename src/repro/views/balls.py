@@ -21,6 +21,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..hypergraph.hypergraph import Hypergraph, Node
+from ..obs.trace import span
 
 __all__ = ["ball_membership", "batch_balls"]
 
@@ -41,29 +42,32 @@ def ball_membership(
     """
     if radius < 0:
         raise ValueError("radius must be non-negative")
-    adjacency = H.adjacency_csr()
-    n = adjacency.shape[0]
-    if sources is None:
-        membership = sp.identity(n, dtype=np.int64, format="csr")
-    else:
-        rows = np.asarray([H.node_position(v) for v in sources], dtype=np.int64)
-        membership = sp.csr_matrix(
-            (
-                np.ones(rows.size, dtype=np.int64),
-                rows,
-                np.arange(rows.size + 1, dtype=np.int64),
-            ),
-            shape=(rows.size, n),
-        )
-    for _ in range(radius):
-        grown = membership + membership @ adjacency
-        grown.data[:] = 1  # binarise: path counts are reachability here
-        if grown.nnz == membership.nnz:
-            break
-        membership = grown
-    membership = membership.astype(np.int8)
-    membership.sort_indices()
-    return membership
+    with span("views.batch_balls", nodes=len(H.nodes), radius=radius):
+        adjacency = H.adjacency_csr()
+        n = adjacency.shape[0]
+        if sources is None:
+            membership = sp.identity(n, dtype=np.int64, format="csr")
+        else:
+            rows = np.asarray(
+                [H.node_position(v) for v in sources], dtype=np.int64
+            )
+            membership = sp.csr_matrix(
+                (
+                    np.ones(rows.size, dtype=np.int64),
+                    rows,
+                    np.arange(rows.size + 1, dtype=np.int64),
+                ),
+                shape=(rows.size, n),
+            )
+        for _ in range(radius):
+            grown = membership + membership @ adjacency
+            grown.data[:] = 1  # binarise: path counts are reachability here
+            if grown.nnz == membership.nnz:
+                break
+            membership = grown
+        membership = membership.astype(np.int8)
+        membership.sort_indices()
+        return membership
 
 
 def batch_balls(

@@ -1,0 +1,140 @@
+"""The metrics registry: instruments, quantiles, Prometheus rendering."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        counter = Counter("lp.highs.calls")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("engine.inflight")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 2
+
+    def test_counter_is_thread_safe(self):
+        counter = Counter("x")
+
+        def work() -> None:
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 8000
+
+
+class TestHistogram:
+    def test_quantiles_interpolate_without_samples(self):
+        hist = Histogram("t", buckets=[1.0, 2.0, 4.0])
+        for value in [0.5] * 50 + [3.0] * 50:
+            hist.observe(value)
+        assert hist.count == 100
+        assert hist.sum == pytest.approx(175.0)
+        # p25 falls in the first bucket (0..1), p75 in the third (2..4).
+        assert 0.0 < hist.quantile(0.25) <= 1.0
+        assert 2.0 < hist.quantile(0.75) <= 4.0
+        assert hist.quantile(0.0) == 0.0 or hist.quantile(0.0) <= 1.0
+
+    def test_overflow_goes_to_inf_bucket(self):
+        hist = Histogram("t", buckets=[1.0])
+        hist.observe(100.0)
+        pairs = hist.cumulative_buckets()
+        assert pairs[-1] == (math.inf, 1)
+        assert pairs[0] == (1.0, 0)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        hist = Histogram("t", buckets=[1.0])
+        assert hist.quantile(0.99) == 0.0
+        assert hist.snapshot() == {"count": 0.0, "sum": 0.0}
+
+    def test_quantile_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            Histogram("t", buckets=[1.0]).quantile(1.5)
+
+    def test_default_buckets_span_nanoseconds_to_minutes(self):
+        hist = Histogram("t")
+        assert hist.buckets[0] < 1e-6
+        assert hist.buckets[-1] > 60.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("a")
+
+    def test_snapshot_is_json_friendly(self):
+        registry = MetricsRegistry()
+        registry.counter("b.calls").inc(2)
+        registry.gauge("a.depth").set(1.5)
+        registry.histogram("c.seconds").observe(0.01)
+        snap = registry.snapshot()
+        assert list(snap) == ["a.depth", "b.calls", "c.seconds"]
+        assert snap["b.calls"] == 2
+        assert snap["a.depth"] == 1.5
+        assert snap["c.seconds"]["count"] == 1.0
+
+    def test_global_registry_is_shared(self):
+        assert get_registry() is get_registry()
+
+
+class TestPrometheusRendering:
+    def test_counter_gauge_histogram_series(self):
+        registry = MetricsRegistry()
+        registry.counter("lp.highs.calls", help="HiGHS invocations").inc(3)
+        registry.gauge("engine.depth").set(2)
+        hist = registry.histogram("lp.highs.seconds", buckets=[0.1, 1.0])
+        hist.observe(0.05)
+        hist.observe(0.5)
+        text = render_prometheus(registry)
+        assert "# HELP repro_lp_highs_calls HiGHS invocations" in text
+        assert "# TYPE repro_lp_highs_calls counter" in text
+        assert "repro_lp_highs_calls 3" in text
+        assert "# TYPE repro_engine_depth gauge" in text
+        assert 'repro_lp_highs_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_lp_highs_seconds_bucket{le="1"} 2' in text
+        assert 'repro_lp_highs_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_lp_highs_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_extra_nested_stats_flatten_to_gauges(self):
+        text = render_prometheus(
+            None,
+            extra={
+                "scheduler": {"requests": {"cache": 7}, "backend": "highs"},
+                "uptime": 1.25,
+            },
+        )
+        assert "repro_scheduler_requests_cache 7" in text
+        assert "repro_uptime 1.25" in text
+        # Non-numeric leaves have no gauge form.
+        assert "backend" not in text

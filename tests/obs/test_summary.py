@@ -1,0 +1,89 @@
+"""Trace-file summaries: the ``repro obs summary`` machinery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.summary import format_table, load_trace_events, summarize_events
+from repro.obs.trace import span, tracing
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    """A real chrome_trace dump with known nesting."""
+    with tracing() as tracer:
+        with span("suite.run"):
+            with span("engine.batch"):
+                with span("lp.highs"):
+                    pass
+                with span("lp.highs"):
+                    pass
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(tracer.chrome_trace()))
+    return path, tracer
+
+
+class TestLoad:
+    def test_loads_trace_events_dict_format(self, trace_file):
+        path, tracer = trace_file
+        events = load_trace_events(path)
+        assert len(events) == len(tracer.spans())
+        assert all(event["ph"] == "X" for event in events)
+
+    def test_loads_bare_array_format(self, tmp_path):
+        path = tmp_path / "bare.json"
+        path.write_text(
+            json.dumps(
+                [{"ph": "X", "name": "a", "ts": 0, "dur": 10, "args": {}}]
+            )
+        )
+        assert len(load_trace_events(path)) == 1
+
+    def test_non_complete_events_are_filtered(self, tmp_path):
+        path = tmp_path / "mixed.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "traceEvents": [
+                        {"ph": "X", "name": "a", "ts": 0, "dur": 10},
+                        {"ph": "M", "name": "process_name"},
+                    ]
+                }
+            )
+        )
+        events = load_trace_events(path)
+        assert [event["name"] for event in events] == ["a"]
+
+
+class TestSummarize:
+    def test_rows_match_in_memory_stage_summary(self, trace_file):
+        path, tracer = trace_file
+        rows = summarize_events(load_trace_events(path))
+        stages = {row["stage"]: row for row in rows}
+        assert set(stages) == {"suite.run", "engine.batch", "lp.highs"}
+        assert stages["lp.highs"]["count"] == 2
+        # Self times across stages sum to the root total (microsecond
+        # rounding in the file is the only slack).
+        self_sum = sum(row["self_s"] for row in rows)
+        root_total = stages["suite.run"]["total_s"]
+        assert self_sum == pytest.approx(root_total, abs=1e-4)
+
+    def test_rows_sorted_by_total_descending(self, trace_file):
+        path, _ = trace_file
+        rows = summarize_events(load_trace_events(path))
+        totals = [row["total_s"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+
+
+class TestFormat:
+    def test_table_renders_all_stages(self, trace_file):
+        path, _ = trace_file
+        text = format_table(summarize_events(load_trace_events(path)))
+        assert "stage" in text and "p99_ms" in text
+        assert "suite.run" in text and "lp.highs" in text
+        assert "sum of self times" in text
+
+    def test_empty_rows_render_placeholder(self):
+        assert format_table([]) == "(no spans)"

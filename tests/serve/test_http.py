@@ -203,3 +203,58 @@ class TestCLI:
         finally:
             process.terminate()
             process.wait(timeout=10)
+
+
+class TestObservability:
+    """The /metrics format negotiation and per-request debug tracing."""
+
+    def _get_with_headers(self, url: str):
+        with urllib.request.urlopen(url) as response:
+            return response.status, dict(response.headers), response.read()
+
+    def test_metrics_default_json_content_type(self, server):
+        status, headers, raw = self._get_with_headers(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        json.loads(raw)  # well-formed
+
+    def test_metrics_prometheus_format_and_content_type(self, server):
+        _post(server.url + "/solve", SPEC.to_json().encode())
+        status, headers, raw = self._get_with_headers(
+            server.url + "/metrics?format=prometheus"
+        )
+        assert status == 200
+        assert headers["Content-Type"] == (
+            "text/plain; version=0.0.4; charset=utf-8"
+        )
+        text = raw.decode("utf-8")
+        assert "# TYPE repro_lp_highs_calls counter" in text
+        assert "repro_lp_highs_seconds_bucket{" in text
+        assert "repro_requests_scenario" in text  # flattened legacy metrics
+
+    def test_metrics_unknown_format_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/metrics?format=xml")
+        assert excinfo.value.code == 400
+        error = _error_body(excinfo)["error"]
+        assert error["type"] == "bad_request"
+        assert "xml" in error["message"]
+        assert "prometheus" in error["message"]
+
+    def test_debug_trace_returns_span_summary(self, server):
+        status, raw = _post(
+            server.url + "/solve?debug=trace", SPEC.to_json().encode()
+        )
+        assert status == 200
+        envelope = json.loads(raw)
+        trace = envelope["trace"]
+        assert trace["spans"] >= 1
+        stages = {row["stage"] for row in trace["stages"]}
+        assert "serve.request" in stages
+        for row in trace["stages"]:
+            assert row["count"] >= 1
+            assert row["total_s"] >= 0.0
+
+    def test_without_debug_flag_no_trace_key(self, server):
+        _, raw = _post(server.url + "/solve", SPEC.to_json().encode())
+        assert "trace" not in json.loads(raw)
