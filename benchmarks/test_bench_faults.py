@@ -1,0 +1,105 @@
+"""Experiment FAULTS -- the fault-injection harness's cost and honesty.
+
+The resilience tentpole is only shippable if the instrumentation seams
+are effectively free when no plan is installed and the chaos machinery
+provably does something when one is.  This benchmark pins both against
+the shared measurement protocol of ``repro bench --suite faults``
+(:func:`repro.cli.faults_measurements` -- same code, so the CLI gate
+against ``BENCH_faults_baseline.json`` and this test can never drift
+apart):
+
+* **idle overhead**: replaying warm ``POST /solve`` traffic against a
+  real :class:`~repro.serve.ReproServer` with an installed-but-silent
+  plan, the *implied* cost (per-consultation seam cost x consultations
+  per request) must stay under **2%** of the per-request time, and the
+  uninstalled fast path (one module-global ``None`` check) must stay
+  sub-microsecond;
+* **chaos masking**: a seeded transient-only plan against a small suite
+  must actually fire (``injected > 0``) while leaving every result bit
+  for bit identical to the fault-free run -- the retry layer's whole
+  contract in one assertion.
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI smoke variant and
+``REPRO_BENCH_OUT=<path>`` to write the measured rows as JSON.
+
+This is an ablation of this reproduction's infrastructure, not a figure
+of the paper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import faults_measurements
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REPEATS = 3
+
+
+@pytest.fixture(scope="session")
+def measurements():
+    """Best-of-N fault-harness timings via the shared CLI protocol."""
+    return faults_measurements(QUICK, REPEATS)
+
+
+def test_faults_idle_overhead_under_two_percent(measurements, report):
+    """Acceptance: an idle fault plan costs < 2% of the warm serve path."""
+    overhead = measurements["faults_overhead"]
+    report(
+        "FAULTS: idle-harness overhead on the warm serve replay"
+        + (" (quick mode)" if QUICK else ""),
+        (
+            f"{overhead['requests']} warm requests over "
+            f"{overhead['distinct']} distinct scenarios: consulted seam "
+            f"{overhead['checked_ns']:.0f}ns x "
+            f"{overhead['checks_per_request']:.1f} checks/request = "
+            f"{overhead['implied_overhead_pct']:.3f}% of the "
+            f"{overhead['disabled_seconds'] / overhead['requests'] * 1e3:.2f}ms "
+            f"request path (uninstalled fast path "
+            f"{overhead['inject_ns']:.0f}ns; enabled/disabled wall ratio "
+            f"{1 / overhead['speedup']:.3f})"
+        ),
+    )
+    assert overhead["implied_overhead_pct"] < 2.0, (
+        "an installed-but-idle fault plan must stay under 2% of the warm "
+        f"request path; implied {overhead['implied_overhead_pct']:.3f}%"
+    )
+    # The uninstalled seam hook must stay sub-microsecond -- one
+    # module-global None check, which is what every production run pays.
+    assert overhead["inject_ns"] < 1000.0, (
+        f"an uninstalled seam check costs {overhead['inject_ns']:.0f}ns; "
+        "the no-plan fast path has regressed"
+    )
+    assert overhead["checked_ns"] < 50_000.0, (
+        f"a consulted-but-silent seam costs {overhead['checked_ns']:.0f}ns"
+    )
+
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        Path(out).write_text(json.dumps(measurements, indent=2))
+
+
+def test_faults_chaos_injects_and_masks(measurements, report):
+    """Acceptance: the chaos plan fires, yet results stay bit-identical."""
+    chaos = measurements["faults_chaos"]
+    report(
+        "FAULTS: transient chaos masking",
+        (
+            f"{chaos['scenarios']}-scenario suite under a seeded "
+            f"transient-only plan: {chaos['injected']} faults injected "
+            f"({chaos['log_entries']} log entries), results identical to "
+            f"the fault-free run: {chaos['identical']}"
+        ),
+    )
+    assert chaos["injected"] > 0, (
+        "the chaos benchmark injected nothing -- it proves nothing"
+    )
+    assert chaos["log_entries"] == chaos["injected"]
+    assert chaos["identical"] is True, (
+        "injected transients leaked into the results; the retry layer "
+        "failed to mask them"
+    )

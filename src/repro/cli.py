@@ -758,6 +758,158 @@ def obs_measurements(quick: bool, repeats: int) -> Dict[str, object]:
     }
 
 
+def faults_measurements(quick: bool, repeats: int) -> Dict[str, object]:
+    """Measure the fault-injection harness: idle overhead and chaos masking.
+
+    The single source of truth for the faults benchmark protocol, shared
+    by ``repro bench --suite faults`` and ``benchmarks/test_bench_faults.py``:
+
+    * ``faults_overhead`` — the warm ``POST /solve`` replay (every request
+      a cache hit over HTTP, the serve benchmark's steady state) timed
+      best-of-``repeats`` with no fault plan installed and then with an
+      installed-but-idle plan (one never-firing spec per seam).  As in the
+      obs benchmark, socket noise drowns the real delta, so the headline
+      is the *implied* overhead: the measured per-call cost of a consulted
+      seam (``checked_ns``, microbenchmark) times the seam consultations
+      one warm request performs (counted by the plan itself), as a
+      fraction of the plan-free per-request time.  ``inject_ns`` is the
+      uninstalled fast path — one module-global ``None`` check.
+      ``speedup`` is disabled/enabled wall-clock for the regression gate
+      (≈1.0 when the harness is cheap).
+    * ``faults_chaos`` — a small suite solved fault-free and again under a
+      seeded transient-only plan (every-Nth raises on the HiGHS seam, so
+      the retry layer must mask every injection).  ``identical`` asserts
+      the two runs' results match bit for bit; ``injected`` counts the
+      faults that actually fired (must be > 0 or the run proved nothing).
+    """
+    import urllib.request
+
+    from .faults import SEAMS, FaultPlan, FaultSpec, inject, install_plan
+    from .scenarios.spec import ScenarioSpec
+    from .serve import ReproServer, SolverService
+
+    distinct = 8 if quick else 16
+    requests = 200 if quick else 1000
+    inject_calls = 100_000 if quick else 500_000
+
+    # (1) cost of one seam hook while no plan is installed (the fast path
+    # every production run pays) ...
+    inject_s = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        for _ in range(inject_calls):
+            inject("lp.highs.call")
+        inject_s = min(inject_s, (time.perf_counter() - start) / inject_calls)
+
+    # ... and of one consulted-but-silent seam with an idle plan installed
+    # (never fires: every-Nth with an astronomically large N).
+    idle = FaultPlan(
+        [FaultSpec(seam=seam, kind="raise", every=10**9) for seam in SEAMS],
+        seed=0,
+        name="bench-idle",
+    )
+    checked_s = float("inf")
+    with install_plan(idle):
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            for _ in range(inject_calls):
+                inject("lp.highs.call")
+            checked_s = min(
+                checked_s, (time.perf_counter() - start) / inject_calls
+            )
+
+    # (2) the warm serve replay without and with the idle plan installed.
+    specs = [
+        ScenarioSpec(
+            family=("cycle", "path")[i % 2],
+            params={"n": 6 + i},
+            seed=i,
+            radii=(1,),
+        )
+        for i in range(distinct)
+    ]
+    bodies = [spec.to_json().encode("utf-8") for spec in specs]
+    order = [i % distinct for i in range(requests)]
+    service = SolverService()
+    with ReproServer(service, port=0) as server:
+        url = server.url + "/solve"
+
+        def post(body: bytes) -> None:
+            request = urllib.request.Request(
+                url,
+                data=body,
+                method="POST",
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request) as response:
+                response.read()
+
+        for body in bodies:
+            post(body)  # warm the scenario cache
+
+        def replay() -> float:
+            start = time.perf_counter()
+            for idx in order:
+                post(bodies[idx])
+            return time.perf_counter() - start
+
+        disabled_s = min(replay() for _ in range(max(1, repeats)))
+        idle.reset()
+        enabled_s = float("inf")
+        enabled_runs = max(1, repeats)
+        with install_plan(idle):
+            for _ in range(enabled_runs):
+                enabled_s = min(enabled_s, replay())
+            checks = idle.hits()
+    checks_per_request = checks / (requests * enabled_runs)
+    implied_pct = 100.0 * checks_per_request * checked_s * requests / disabled_s
+
+    # (3) chaos determinism: a transient-only plan must inject faults the
+    # retry layer masks completely -- results bit-identical to fault-free.
+    chaos_specs = [
+        ScenarioSpec(family="cycle", params={"n": 8 + 2 * i}, radii=(1, 2))
+        for i in range(2 if quick else 4)
+    ]
+    clean = [r.as_dict() for r in SuiteRunner(cache=ResultCache()).run(chaos_specs)]
+    # every=2 because the batched engine makes very few HiGHS calls (one
+    # stacked call per batch); every-Nth injection with N >= 2 is always
+    # masked by the 3-attempt retry (the retried hit lands on an off-beat).
+    plan = FaultPlan(
+        [FaultSpec(seam="lp.highs.call", kind="raise", every=2)],
+        seed=20080414,
+        name="bench-chaos",
+    )
+    with install_plan(plan):
+        chaos = [
+            r.as_dict()
+            for r in SuiteRunner(cache=ResultCache()).run(chaos_specs)
+        ]
+    for record in (*clean, *chaos):
+        record.pop("seconds")
+    identical = chaos == clean
+
+    return {
+        "quick": quick,
+        "faults_overhead": {
+            "requests": requests,
+            "distinct": distinct,
+            "inject_ns": round(inject_s * 1e9, 1),
+            "checked_ns": round(checked_s * 1e9, 1),
+            "checks_per_request": round(checks_per_request, 2),
+            "disabled_seconds": round(disabled_s, 4),
+            "enabled_seconds": round(enabled_s, 4),
+            "implied_overhead_pct": round(implied_pct, 4),
+            "speedup": round(disabled_s / enabled_s, 3),
+        },
+        "faults_chaos": {
+            "scenarios": len(chaos_specs),
+            "injected": plan.injected(),
+            "log_entries": len(plan.log),
+            "identical": identical,
+        },
+    }
+
+
 #: Sections of the bench JSON that carry a speedup the ``--compare`` gate
 #: judges, with their display labels.
 _BENCH_SECTIONS = {
@@ -767,6 +919,7 @@ _BENCH_SECTIONS = {
     "lp_batch_bisection": "batched feasibility-probe sweep",
     "serve_replay": "serve traffic replay (cache + coalescing)",
     "obs_overhead": "tracing overhead on the warm serve path",
+    "faults_overhead": "idle fault-harness overhead on the warm serve path",
 }
 
 
@@ -863,6 +1016,22 @@ def run_bench(args: argparse.Namespace) -> int:
                 "speedup": overhead["speedup"],
             }
         )
+    if args.suite in ("faults", "all"):
+        measured = faults_measurements(quick, args.repeats)
+        rows.update({k: v for k, v in measured.items() if k != "quick"})
+        overhead = measured["faults_overhead"]
+        display.append(
+            {
+                "benchmark": _BENCH_SECTIONS["faults_overhead"],
+                "instance": (
+                    f"{overhead['requests']} warm reqs / "
+                    f"{overhead['checks_per_request']} seam checks each"
+                ),
+                "baseline_s": overhead["disabled_seconds"],
+                "batched_s": overhead["enabled_seconds"],
+                "speedup": overhead["speedup"],
+            }
+        )
     _print(
         f"BENCH: {args.suite} suite" + (" (quick mode)" if quick else ""),
         render_rows(display),
@@ -916,6 +1085,25 @@ def run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_fault_plan(path_str: Optional[str]):
+    """Resolve ``--fault-plan`` into a FaultPlan (or None when not given).
+
+    Bad paths and malformed plans die with a one-line ``SystemExit``, not
+    a traceback — the same contract as ``_load_suite``.
+    """
+    from .faults import FaultPlan
+
+    if not path_str:
+        return None
+    path = Path(path_str)
+    if not path.is_file():
+        raise SystemExit(f"fault plan file not found: {path}")
+    try:
+        return FaultPlan.load(path)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"invalid fault plan {path}: {exc}")
+
+
 def run_serve(args: argparse.Namespace) -> int:
     """Serve scenario solves over HTTP until interrupted.
 
@@ -924,8 +1112,10 @@ def run_serve(args: argparse.Namespace) -> int:
     machine-parseable (``serving on http://host:port``) so scripts can
     start the server on ``--port 0`` and discover the bound port.
     """
+    from .faults import install_plan
     from .serve import ReproServer, SolverService
 
+    plan = _load_fault_plan(args.fault_plan)
     cache_dir = None
     if not args.no_cache_dir:
         cache_dir = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
@@ -936,6 +1126,8 @@ def run_serve(args: argparse.Namespace) -> int:
         lp_strategy=args.lp_strategy,
         lp_chunk_size=args.lp_chunk_size,
         share_orbits=args.share_orbits,
+        deadline_s=args.deadline,
+        max_inflight=args.max_inflight,
     )
     server = ReproServer(
         service, host=args.host, port=args.port, verbose=args.verbose
@@ -945,13 +1137,22 @@ def run_serve(args: argparse.Namespace) -> int:
         "endpoints: POST /solve, POST /suite, GET /metrics, GET /healthz",
         flush=True,
     )
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.server_close()
-        service.close()
+    if plan is not None:
+        print(
+            f"fault plan {plan.name!r} installed "
+            f"({len(plan.specs)} specs, seed {plan.seed})",
+            flush=True,
+        )
+    with install_plan(plan):
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+            service.close()
+    if plan is not None:
+        print(f"fault plan {plan.name!r}: {plan.injected()} faults injected")
     return 0
 
 
@@ -1023,7 +1224,10 @@ def _expansion_rows(suite: SuiteSpec) -> List[Dict[str, object]]:
 
 def run_suite_cmd(args: argparse.Namespace) -> int:
     """Execute (or just expand) a suite through one shared batch engine."""
+    from .faults import install_plan
+
     suite = _load_suite(args.suite)
+    plan = _load_fault_plan(args.fault_plan)
 
     if args.dry_run:
         rows = _expansion_rows(suite)  # validates every spec against the registry
@@ -1066,9 +1270,15 @@ def run_suite_cmd(args: argparse.Namespace) -> int:
             f"({result.seconds:.2f}s)"
         )
 
-    report = runner.run_suite(suite, on_result=progress)
+    with install_plan(plan):
+        report = runner.run_suite(suite, on_result=progress)
     print()
     print(render_text(report))
+    if plan is not None:
+        print(
+            f"fault plan {plan.name!r}: {plan.injected()} faults injected, "
+            f"{plan.hits()} seam hits"
+        )
 
     if args.out:
         paths = write_artifacts(report, args.out)
@@ -1235,7 +1445,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument(
         "--suite",
-        choices=["views", "lp-batch", "serve", "obs", "all"],
+        choices=["views", "lp-batch", "serve", "obs", "faults", "all"],
         default="views",
         help="which benchmark suite to measure (default views)",
     )
@@ -1350,6 +1560,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for run artifacts (results.json, report.md, registry.json)",
     )
+    sp_run.add_argument(
+        "--fault-plan",
+        default=None,
+        help="fault-plan JSON file to install for the run (deterministic "
+        "chaos testing; see repro.faults)",
+    )
 
     suite_sub.add_parser(
         "list-families", help="list registered instance families and their parameters"
@@ -1413,6 +1629,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="log one stderr line per HTTP request",
+    )
+    sp.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="default per-request deadline in seconds (504 on expiry; "
+        "clients may override with ?deadline_s=)",
+    )
+    sp.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="shed requests beyond this many concurrent solves "
+        "(503 + Retry-After; default unlimited)",
+    )
+    sp.add_argument(
+        "--fault-plan",
+        default=None,
+        help="fault-plan JSON file to install while serving (deterministic "
+        "chaos testing; see repro.faults)",
     )
 
     sp_show = suite_sub.add_parser(

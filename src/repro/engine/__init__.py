@@ -37,11 +37,12 @@ from .fingerprint import (
     fingerprint_request,
 )
 from .jobs import JobRecord, RunRegistry
-from .scheduler import RequestScheduler
+from .scheduler import RequestScheduler, UnitFailure
 
 __all__ = [
     "BatchSolver",
     "RequestScheduler",
+    "UnitFailure",
     "CacheStats",
     "EngineStats",
     "EXECUTION_MODES",

@@ -33,16 +33,32 @@ import json
 import os
 import tempfile
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Union
 
+from ..faults import InjectedFault, RetryPolicy
+from ..faults import inject as _inject
+from ..obs.metrics import get_registry
 from ..obs.statsutil import stats_as_dict
 
 __all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
 
 _MISSING = object()
+
+#: Cache-I/O retry: transient disk errors (and the injected faults that
+#: stand in for them) are retried briefly; a missing file is a miss, not
+#: an error, and is never retried.
+CACHE_RETRY = RetryPolicy(
+    attempts=3,
+    base_delay=0.002,
+    multiplier=2.0,
+    max_delay=0.02,
+    retry_on=(OSError, InjectedFault),
+    seed=0,
+)
 
 
 def default_cache_dir() -> Path:
@@ -77,6 +93,12 @@ class CacheStats:
         explicit :meth:`ResultCache.prune`.
     invalidations:
         Entries removed by explicit :meth:`ResultCache.invalidate` calls.
+    quarantined:
+        Corrupt disk entries renamed to ``*.corrupt`` and treated as
+        misses (a poisoned entry must never be re-parsed forever).
+    write_errors:
+        Disk writes that failed even after retries; the entry stays
+        memory-only and the cache degrades rather than raising.
     """
 
     hits: int = 0
@@ -86,6 +108,8 @@ class CacheStats:
     evictions: int = 0
     disk_evictions: int = 0
     invalidations: int = 0
+    quarantined: int = 0
+    write_errors: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dictionary (for tables and JSON reports)."""
@@ -147,15 +171,59 @@ class ResultCache:
         assert self.directory is not None
         return Path(self.directory) / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry out of the lookup namespace.
+
+        Renaming to ``*.corrupt`` takes it off the ``??/*.json`` glob (so
+        scans, prunes, and future reads never see it again) while keeping
+        the bytes around for a post-mortem.
+        """
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            # Rename failed (e.g. read-only dir): best effort removal so
+            # the poisoned entry cannot be re-parsed on every lookup.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        with self._lock:
+            self.stats.quarantined += 1
+            self._disk_usage = None  # the tier shrank; recompute lazily
+        get_registry().counter(
+            "cache.quarantined", "corrupt cache entries quarantined"
+        ).inc()
+
     def _disk_read(self, key: str) -> Any:
         if self.directory is None:
             return _MISSING
         path = self._entry_path(key)
+
+        def _attempt() -> Optional[str]:
+            fault = _inject("cache.disk.read", key=key[:12])
+            try:
+                text = path.read_text()
+            except FileNotFoundError:
+                return None  # a plain miss, never retried
+            if fault is not None:  # kind == "corrupt"
+                text = text[: len(text) // 2] + "<torn by fault plan>"
+            return text
+
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = CACHE_RETRY.call(_attempt, metric="cache.retries")
+        except (OSError, InjectedFault):
+            # Persistent I/O failure: serve a miss (the solve re-runs)
+            # rather than poisoning the lookup with an exception.
+            return _MISSING
+        if text is None:
+            return _MISSING
+        try:
+            data = json.loads(text)
+        except ValueError:
+            self._quarantine(path)
             return _MISSING
         if not isinstance(data, dict) or data.get("key") != key:
+            self._quarantine(path)
             return _MISSING
         return data.get("value")
 
@@ -163,20 +231,46 @@ class ResultCache:
         if self.directory is None:
             return 0
         path = self._entry_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"key": key, "value": value})
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp, path)
-        except BaseException:
+
+        def _attempt() -> int:
+            fault = _inject("cache.disk.write", key=key[:12])
+            # An injected corrupt write tears the payload mid-document --
+            # the atomic-rename machinery still runs, exercising the read
+            # side's quarantine path end-to-end.
+            text = (
+                payload
+                if fault is None
+                else payload[: len(payload) // 2] + "<torn by fault plan>"
+            )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return len(payload)
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(text)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            return len(text)
+
+        try:
+            return CACHE_RETRY.call(_attempt, metric="cache.retries")
+        except (OSError, InjectedFault) as exc:
+            # The disk tier is an optimisation; losing one write degrades
+            # to memory-only for this entry instead of failing the solve.
+            with self._lock:
+                self.stats.write_errors += 1
+            warnings.warn(
+                f"cache disk write failed for {key[:12]}...: {exc}; "
+                "entry stays memory-only",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 0
 
     def _iter_disk_paths(self) -> Iterator[Path]:
         if self.directory is None:

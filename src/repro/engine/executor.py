@@ -68,7 +68,10 @@ import numpy as np
 
 from ..core.problem import Agent, MaxMinLP
 from ..exceptions import InfeasibleError, SolverError, UnboundedError
+from ..faults import InjectedFault, RetryPolicy
+from ..faults import inject as _inject
 from ..io import solution_from_dict, solution_to_dict
+from ..obs.metrics import get_registry
 from ..lp.backends import DEFAULT_BACKEND
 from ..lp.batch import BATCH_STRATEGIES, BatchSolveStats
 from ..lp.maxmin import (
@@ -87,7 +90,7 @@ from .fingerprint import (
     fingerprint_view_requests,
 )
 from .jobs import RunRegistry
-from .scheduler import RequestScheduler
+from .scheduler import RequestScheduler, UnitFailure
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a cycle
     from ..canon.labeling import CanonicalForm
@@ -104,6 +107,18 @@ __all__ = [
 
 #: Supported execution modes of :class:`BatchSolver`.
 EXECUTION_MODES = ("serial", "thread", "process")
+
+#: Transient-worker retry: injected ``engine.worker`` faults (the chaos
+#: stand-in for a flaky spawn) are absorbed with short backoff before the
+#: batch is allowed to fail.
+WORKER_RETRY = RetryPolicy(
+    attempts=3,
+    base_delay=0.005,
+    multiplier=2.0,
+    max_delay=0.05,
+    retry_on=(InjectedFault,),
+    seed=0,
+)
 
 @dataclass(frozen=True)
 class LocalLPOutcome:
@@ -138,6 +153,12 @@ class EngineStats:
         :mod:`repro.engine.scheduler`).
     pool_fallbacks:
         Times a worker pool could not be used and the engine ran serially.
+    pool_respawns:
+        Times a dead worker pool was rebuilt and the batch resubmitted
+        (the step tried before the serial fallback).
+    unit_failures:
+        Solve units that failed while the rest of their batch completed
+        (failure containment, see :class:`~repro.engine.scheduler.UnitFailure`).
     """
 
     batches: int = 0
@@ -146,6 +167,8 @@ class EngineStats:
     dedup_saved: int = 0
     coalesced: int = 0
     pool_fallbacks: int = 0
+    pool_respawns: int = 0
+    unit_failures: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return stats_as_dict(self)
@@ -186,6 +209,41 @@ class _SolveUnit:
         return cls.from_problem(built)
 
 
+def _solve_buffers_contained(
+    unit_buffers: List[Tuple],
+    backend: str,
+    strategy: str,
+    stats: BatchSolveStats,
+) -> List[Tuple[str, Optional[Any]]]:
+    """Batched solve with per-unit containment.
+
+    If the batched submission itself blows up (one poisoned unit can take
+    a whole block-diagonal call down), fall back to solving the chunk's
+    units one at a time so only the culprit fails: it returns a
+    ``("failed", {"type", "message"})`` marker -- plain strings, so the
+    marker survives the trip home from a process worker -- and every
+    other unit returns its real result.
+    """
+    try:
+        return solve_maxmin_buffer_batch(
+            unit_buffers, backend=backend, strategy=strategy, stats=stats
+        )
+    except Exception:
+        results: List[Tuple[str, Optional[Any]]] = []
+        for buffers in unit_buffers:
+            try:
+                (result,) = solve_maxmin_buffer_batch(
+                    [buffers], backend=backend, strategy=strategy, stats=stats
+                )
+            except Exception as exc:
+                result = (
+                    "failed",
+                    {"type": type(exc).__name__, "message": str(exc)},
+                )
+            results.append(result)
+        return results
+
+
 def _solve_compiled_chunk(
     args: Tuple[List[Tuple], str, str, Optional[Dict[str, Any]]],
 ) -> Tuple[List[Tuple[str, Optional[Any]]], float, Dict[str, int], List[Tuple]]:
@@ -211,15 +269,15 @@ def _solve_compiled_chunk(
     stats = BatchSolveStats()
     start = time.perf_counter()
     if trace_ctx is None:
-        results = solve_maxmin_buffer_batch(
-            unit_buffers, backend=backend, strategy=strategy, stats=stats
+        results = _solve_buffers_contained(
+            unit_buffers, backend, strategy, stats
         )
         return results, time.perf_counter() - start, stats.as_dict(), []
     local = Tracer()
     with activate(local):
         with span("lp.chunk", lps=len(unit_buffers), strategy=strategy):
-            results = solve_maxmin_buffer_batch(
-                unit_buffers, backend=backend, strategy=strategy, stats=stats
+            results = _solve_buffers_contained(
+                unit_buffers, backend, strategy, stats
             )
     return (
         results,
@@ -346,30 +404,78 @@ class BatchSolver:
     def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
         """Apply ``fn`` to every item, honouring the configured mode.
 
-        Falls back to serial execution (and counts a ``pool_fallback``) when
-        the pool cannot be created or its workers die, so a restricted
-        platform degrades gracefully instead of failing.
+        Crash recovery ladder: a dead pool (or an unbuildable one) is
+        **respawned once** and the whole batch resubmitted -- ``fn`` is
+        pure, so re-running completed items is safe -- and if the second
+        pool dies too the batch runs serially (counted as a
+        ``pool_fallback``), so a restricted platform or a crashing worker
+        degrades gracefully instead of losing the batch.  The
+        ``engine.worker`` fault seam fires once per submission attempt;
+        injected transients are absorbed by the bounded
+        :data:`WORKER_RETRY` backoff.
         """
         work = list(items)
-        serial = (
+        use_pool = not (
             self.mode == "serial"
             or len(work) <= 1
             or (self.max_workers is not None and self.max_workers <= 1)
         )
-        if serial:
-            return [fn(item) for item in work]
         pool_cls = ThreadPoolExecutor if self.mode == "thread" else ProcessPoolExecutor
-        try:
-            with pool_cls(max_workers=self.max_workers) as pool:
-                return list(pool.map(fn, work))
-        except (OSError, BrokenExecutor) as exc:
-            warnings.warn(
-                f"{self.mode} pool unavailable ({exc!r}); running serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            self.stats.pool_fallbacks += 1
-            return [fn(item) for item in work]
+        respawned = False
+        transient_delays = iter(WORKER_RETRY.delays())
+        while True:
+            try:
+                _inject("engine.worker", mode=self.mode, items=len(work))
+                if use_pool:
+                    with pool_cls(max_workers=self.max_workers) as pool:
+                        return list(pool.map(fn, work))
+                return [fn(item) for item in work]
+            except (OSError, BrokenExecutor) as exc:
+                if use_pool and not respawned:
+                    respawned = True
+                    self.stats.pool_respawns += 1
+                    get_registry().counter(
+                        "engine.pool.respawns",
+                        "worker pools rebuilt after a crash",
+                    ).inc()
+                    warnings.warn(
+                        f"{self.mode} pool died ({exc!r}); "
+                        "respawning the pool and resubmitting the batch",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                if use_pool:
+                    warnings.warn(
+                        f"{self.mode} pool unavailable after respawn "
+                        f"({exc!r}); running serially",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    self.stats.pool_fallbacks += 1
+                    use_pool = False
+                    continue
+                # Serial execution only reaches here via an injected crash
+                # at the seam; absorb it like any other transient.
+                if not isinstance(exc, InjectedFault):
+                    raise
+                delay = next(transient_delays, None)
+                if delay is None:
+                    raise
+                get_registry().counter(
+                    "engine.retries", "retries absorbed by the resilience layer"
+                ).inc()
+                if delay > 0:
+                    time.sleep(delay)
+            except InjectedFault:
+                delay = next(transient_delays, None)
+                if delay is None:
+                    raise
+                get_registry().counter(
+                    "engine.retries", "retries absorbed by the resilience layer"
+                ).inc()
+                if delay > 0:
+                    time.sleep(delay)
 
     # ------------------------------------------------------------------
     # Batched solves
@@ -462,11 +568,17 @@ class BatchSolver:
         for idx, unit in enumerate(units):
             compiled = unit.compiled
             if exact and compiled.n_beneficiaries == 0:
-                raise UnboundedError(
-                    "the max-min objective is unbounded when there are no "
-                    "beneficiaries"
+                # Contained: the degenerate unit fails, its batch survives.
+                payloads[idx] = (
+                    UnitFailure(
+                        UnboundedError(
+                            "the max-min objective is unbounded when there "
+                            "are no beneficiaries"
+                        )
+                    ),
+                    0.0,
                 )
-            if exact and compiled.n_agents == 0:
+            elif exact and compiled.n_agents == 0:
                 payloads[idx] = (
                     {"objective": 0.0, "x": solution_to_dict({}), "backend": backend},
                     0.0,
@@ -526,16 +638,34 @@ class BatchSolver:
                         )
                     share = duration / len(chunk_ids) if chunk_ids else 0.0
                     for idx, (status_name, x_vec) in zip(chunk_ids, statuses):
-                        payloads[idx] = (
-                            self._interpret_unit(
+                        if status_name == "failed":
+                            # A worker-side containment marker (plain
+                            # strings so it pickles home from a process).
+                            payloads[idx] = (
+                                UnitFailure(
+                                    SolverError(
+                                        f"{x_vec['type']}: {x_vec['message']}"
+                                    )
+                                ),
+                                share,
+                            )
+                            continue
+                        try:
+                            payload = self._interpret_unit(
                                 units[idx],
                                 status_name,
                                 x_vec,
                                 kind=kind,
                                 backend=backend,
-                            ),
-                            share,
-                        )
+                            )
+                        except (
+                            InfeasibleError,
+                            UnboundedError,
+                            SolverError,
+                        ) as exc:
+                            payloads[idx] = (UnitFailure(exc), share)
+                        else:
+                            payloads[idx] = (payload, share)
         return payloads  # type: ignore[return-value]
 
     @staticmethod

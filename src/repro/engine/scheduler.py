@@ -38,7 +38,7 @@ from ..obs.trace import get_tracer, span
 from .cache import ResultCache
 from .jobs import JobRecord, RunRegistry
 
-__all__ = ["RequestScheduler"]
+__all__ = ["RequestScheduler", "UnitFailure"]
 
 _MISSING = object()
 
@@ -46,6 +46,27 @@ _MISSING = object()
 SOURCE_CACHE = "cache"
 SOURCE_SOLVED = "solved"
 SOURCE_COALESCED = "coalesced"
+SOURCE_FAILED = "failed"
+
+
+class UnitFailure:
+    """A contained per-unit failure travelling through the scheduler.
+
+    The ``solve`` callback returns one of these (instead of a payload)
+    for a unit that failed while the rest of its batch succeeded.  The
+    scheduler fails only that unit's flight, records the error, skips the
+    cache, and — without ``details`` — re-raises the wrapped exception
+    after every other key has been published and cached, so one poisoned
+    unit never takes the batch down with it.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UnitFailure({type(self.error).__name__}: {self.error})"
 
 
 class _Flight:
@@ -162,6 +183,12 @@ class RequestScheduler:
 
         if details:
             return [(results[key], sources[key]) for key in keys]
+        # Containment contract: every healthy key is already cached and
+        # published before the first failure surfaces to the caller.
+        for key in keys:
+            payload = results[key]
+            if isinstance(payload, UnitFailure):
+                raise payload.error
         return [results[key] for key in keys]
 
     def _run_batch(
@@ -216,7 +243,11 @@ class RequestScheduler:
             if pending:
                 self._solve_owned(pending, owned, results, kind=kind, solve=solve)
             for key, _ in pending:
-                sources[key] = SOURCE_SOLVED
+                sources[key] = (
+                    SOURCE_FAILED
+                    if isinstance(results.get(key), UnitFailure)
+                    else SOURCE_SOLVED
+                )
         finally:
             # Any owned flight not yet published (builder raised, solve
             # raised, ...) must fail loudly rather than strand its waiters.
@@ -232,9 +263,20 @@ class RequestScheduler:
         # threads' flights (see the module docstring for why this ordering
         # makes coalescing deadlock-free).
         for key, flight in attached:
-            results[key] = flight.wait()
-            sources[key] = SOURCE_COALESCED
             self.stats.coalesced += 1
+            try:
+                payload = flight.wait()
+            except BaseException as exc:
+                # The owner failed; this waiter fails identically, but the
+                # batch's other keys (above) already have their answers.
+                results[key] = UnitFailure(exc)
+                sources[key] = SOURCE_FAILED
+                if self.registry is not None:
+                    record = self.registry.new_job(kind, key)
+                    self.registry.finish_job(record, error=str(exc))
+                continue
+            results[key] = payload
+            sources[key] = SOURCE_COALESCED
             if self.registry is not None:
                 record = self.registry.new_job(kind, key)
                 self.registry.finish_job(record, cached=True)
@@ -278,6 +320,21 @@ class RequestScheduler:
             tracer.stage_totals(since=mark) if tracer is not None else None
         )
         for (key, _), record, (payload, duration) in zip(pending, records, outcomes):
+            if isinstance(payload, UnitFailure):
+                # Containment: this unit alone fails -- its flight carries
+                # the error to any waiters, nothing is cached, and the
+                # batch's other units publish normally.
+                self.stats.unit_failures += 1
+                get_registry().counter(
+                    "engine.unit_failures", "solve units that failed"
+                ).inc()
+                results[key] = payload
+                flight = flights.get(key)
+                if flight is not None:
+                    flight.fail(payload.error)
+                if record is not None:
+                    self.registry.finish_job(record, error=str(payload.error))
+                continue
             self.stats.executed += 1
             if self.cache is not None:
                 self.cache.put(key, payload)

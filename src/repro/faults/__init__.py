@@ -1,0 +1,33 @@
+"""Deterministic fault injection and the retry policy that survives it.
+
+See :mod:`repro.faults.plan` for the seam/plan model and
+:mod:`repro.faults.retry` for the backoff policy.
+"""
+
+from .plan import (
+    KINDS,
+    SEAMS,
+    ActiveFault,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedWorkerCrash,
+    active_plan,
+    inject,
+    install_plan,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "KINDS",
+    "SEAMS",
+    "ActiveFault",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "InjectedWorkerCrash",
+    "RetryPolicy",
+    "active_plan",
+    "inject",
+    "install_plan",
+]

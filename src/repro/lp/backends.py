@@ -32,6 +32,8 @@ import numpy as np
 from scipy.optimize import linprog
 
 from ..exceptions import SolverError
+from ..faults import InjectedFault, RetryPolicy
+from ..faults import inject as _inject
 from ..obs.metrics import get_registry
 from ..obs.trace import span as _span
 from .simplex import solve_simplex
@@ -39,6 +41,7 @@ from .standard import LinearProgram, LPResult, LPStatus
 
 __all__ = [
     "DEFAULT_BACKEND",
+    "HIGHS_RETRY",
     "available_backends",
     "call_highs",
     "count_highs_calls",
@@ -46,6 +49,18 @@ __all__ = [
 ]
 
 DEFAULT_BACKEND = "scipy"
+
+#: Transient-backend retry: injected (or injectable) faults at the
+#: ``lp.highs.call`` seam are absorbed here; real solver statuses are not
+#: retried (a deterministic LP does not become feasible on attempt two).
+HIGHS_RETRY = RetryPolicy(
+    attempts=3,
+    base_delay=0.005,
+    multiplier=2.0,
+    max_delay=0.05,
+    retry_on=(InjectedFault,),
+    seed=0,
+)
 
 
 class _HiGHSCallCounter:
@@ -117,33 +132,41 @@ def call_highs(lp: LinearProgram):
     converts dense and sparse input to the identical CSC model, so the two
     storage forms produce bit-identical solver output.
     """
-    for counter in _active_counters():
-        counter.calls += 1
-    if _global_counters:
-        with _global_lock:
-            for counter in _global_counters:
-                counter.calls += 1
     registry = get_registry()
-    registry.counter("lp.highs.calls", "HiGHS invocations").inc()
-    start = time.perf_counter()
-    with _span(
-        "lp.highs",
-        variables=lp.n_variables,
-        constraints=lp.n_inequalities + lp.n_equalities,
-    ):
-        result = linprog(
-            c=lp.c,
-            A_ub=lp.A_ub,
-            b_ub=lp.b_ub,
-            A_eq=lp.A_eq,
-            b_eq=lp.b_eq,
-            bounds=lp.bounds,
-            method="highs",
+
+    def _attempt():
+        # The fault seam fires *before* the call counters: an injected
+        # transient never reaches HiGHS, so the batch layer's
+        # one-call-per-batch contract counts real invocations only.
+        _inject("lp.highs.call", variables=lp.n_variables)
+        for counter in _active_counters():
+            counter.calls += 1
+        if _global_counters:
+            with _global_lock:
+                for counter in _global_counters:
+                    counter.calls += 1
+        registry.counter("lp.highs.calls", "HiGHS invocations").inc()
+        start = time.perf_counter()
+        with _span(
+            "lp.highs",
+            variables=lp.n_variables,
+            constraints=lp.n_inequalities + lp.n_equalities,
+        ):
+            result = linprog(
+                c=lp.c,
+                A_ub=lp.A_ub,
+                b_ub=lp.b_ub,
+                A_eq=lp.A_eq,
+                b_eq=lp.b_eq,
+                bounds=lp.bounds,
+                method="highs",
+            )
+        registry.histogram("lp.highs.seconds", "HiGHS call latency").observe(
+            time.perf_counter() - start
         )
-    registry.histogram("lp.highs.seconds", "HiGHS call latency").observe(
-        time.perf_counter() - start
-    )
-    return result
+        return result
+
+    return HIGHS_RETRY.call(_attempt, metric="engine.retries")
 
 
 def _solve_scipy(lp: LinearProgram) -> LPResult:

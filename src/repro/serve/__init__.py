@@ -18,11 +18,19 @@ service without adding any dependency beyond the standard library:
 Start it from the command line with ``python -m repro serve``.
 """
 
-from .service import ServeRequestError, SolverService, scenario_request_key
+from .service import (
+    DeadlineExceeded,
+    ScenarioSolveError,
+    ServeRequestError,
+    SolverService,
+    scenario_request_key,
+)
 from .server import ReproServer
 
 __all__ = [
+    "DeadlineExceeded",
     "ReproServer",
+    "ScenarioSolveError",
     "ServeRequestError",
     "SolverService",
     "scenario_request_key",

@@ -34,13 +34,19 @@ from __future__ import annotations
 
 import json
 import threading
+import warnings
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from .. import __version__
 from ..obs.trace import span
-from .service import ServeRequestError, SolverService
+from .service import (
+    DeadlineExceeded,
+    ScenarioSolveError,
+    ServeRequestError,
+    SolverService,
+)
 
 __all__ = ["DEFAULT_PORT", "MAX_BODY_BYTES", "ReproServer"]
 
@@ -70,16 +76,32 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Response helpers
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        *,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self._send_body(
             status, (json.dumps(payload) + "\n").encode("utf-8"),
             "application/json",
+            headers=headers,
         )
 
-    def _send_body(self, status: int, body: bytes, content_type: str) -> None:
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        *,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -165,21 +187,67 @@ class _Handler(BaseHTTPRequestHandler):
                 "'json' or 'prometheus'",
             )
 
+    def _parse_deadline(self, query: Dict[str, str]) -> Optional[float]:
+        """``?deadline_s=`` as a positive float; absent means the default."""
+        raw = query.get("deadline_s")
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ServeRequestError(
+                f"invalid deadline_s value {raw!r}; expected a positive "
+                "number of seconds"
+            ) from None
+        if value <= 0:
+            raise ServeRequestError(
+                f"deadline_s must be positive, got {value!r}"
+            )
+        return value
+
     def do_POST(self) -> None:
         streaming = False
+        admitted = False
         try:
             path, query = self._split_path()
+            if path in ("/solve", "/suite"):
+                # Load shedding happens before the body is even read: a
+                # saturated server answers cheaply and tells the client
+                # when to come back.
+                if not self.service.try_admit():
+                    self._send_json(
+                        503,
+                        {
+                            "error": {
+                                "type": "overloaded",
+                                "message": (
+                                    "server is at its in-flight request "
+                                    f"limit ({self.service.max_inflight}); "
+                                    "retry shortly"
+                                ),
+                            }
+                        },
+                        headers={"Retry-After": "1"},
+                    )
+                    return
+                admitted = True
             if path == "/solve":
+                deadline_s = self._parse_deadline(query)
                 debug_trace = query.get("debug") == "trace"
                 with span("http.request", method="POST", path=path):
                     envelope = self.service.solve_scenario_json(
-                        self._read_body(), debug_trace=debug_trace
+                        self._read_body(),
+                        debug_trace=debug_trace,
+                        deadline_s=deadline_s,
                     )
                 self._send_json(200, envelope)
             elif path == "/suite":
                 # Parse + validate the whole suite *before* committing to a
                 # 200: ServeRequestError here still becomes a clean 400.
-                stream = self.service.iter_suite_json(self._read_body())
+                stream = self.service.iter_suite_json(
+                    self._read_body(),
+                    deadline_s=self._parse_deadline(query),
+                )
                 streaming = True
                 self.send_response(200)
                 self.send_header("Content-Type", "application/x-ndjson")
@@ -204,6 +272,10 @@ class _Handler(BaseHTTPRequestHandler):
                 )
         except ServeRequestError as exc:
             self._send_error_json(400, "bad_request", str(exc))
+        except DeadlineExceeded as exc:
+            self._send_error_json(504, "deadline_exceeded", str(exc))
+        except ScenarioSolveError as exc:
+            self._send_error_json(500, "solve_failed", str(exc))
         except (BrokenPipeError, ConnectionResetError):  # client went away
             pass
         except Exception as exc:
@@ -221,6 +293,9 @@ class _Handler(BaseHTTPRequestHandler):
                     pass
             else:
                 self._internal_error(exc)
+        finally:
+            if admitted:
+                self.service.release()
 
     def _internal_error(self, exc: Exception) -> None:
         try:
@@ -287,13 +362,38 @@ class ReproServer(ThreadingHTTPServer):
         self._thread = thread
         return self
 
-    def stop(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop accepting, drain in-flight work, release the socket.
+
+        Shutdown is graceful: no new connections are accepted, then
+        in-flight requests get (up to) ``timeout`` seconds to finish
+        before the socket is closed.  A serving thread that survives the
+        join is a *leak*, not a success — the socket is force-closed and
+        a :class:`RuntimeError` raised instead of returning silently with
+        the port possibly still held.
+        """
         self.shutdown()
+        if not self.service.drain(timeout=timeout):
+            warnings.warn(
+                f"serve: {self.service.inflight} in-flight request(s) did "
+                f"not drain within {timeout:g}s; closing the socket anyway",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=10)
-            self._thread = None
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                try:
+                    self.socket.close()
+                except OSError:
+                    pass
+                raise RuntimeError(
+                    f"serving thread did not exit within {timeout:g}s of "
+                    "shutdown; the socket has been force-closed but the "
+                    "thread is leaked"
+                )
 
     def __enter__(self) -> "ReproServer":
         return self.start_background()

@@ -41,8 +41,9 @@ from .. import __version__
 from ..engine.cache import ResultCache
 from ..engine.fingerprint import fingerprint_data
 from ..engine.jobs import RunRegistry
-from ..engine.scheduler import SOURCE_SOLVED, RequestScheduler
+from ..engine.scheduler import SOURCE_SOLVED, RequestScheduler, UnitFailure
 from ..exceptions import ScenarioError
+from ..faults import inject as _inject
 from ..lp.backends import count_highs_calls
 from ..obs.metrics import get_registry, render_prometheus
 from ..obs.trace import Tracer, activate, stage_summary
@@ -50,7 +51,13 @@ from ..obs.trace import span as trace_span
 from ..scenarios.runner import SuiteRunner
 from ..scenarios.spec import ScenarioSpec, SuiteSpec
 
-__all__ = ["ServeRequestError", "SolverService", "scenario_request_key"]
+__all__ = [
+    "DeadlineExceeded",
+    "ScenarioSolveError",
+    "ServeRequestError",
+    "SolverService",
+    "scenario_request_key",
+]
 
 #: Shared stateless stand-in for the request-local tracer activation when
 #: no ``debug_trace`` was asked for.
@@ -64,6 +71,33 @@ class ServeRequestError(ValueError):
     message verbatim; anything else escaping the service is a server-side
     500.
     """
+
+
+class DeadlineExceeded(Exception):
+    """A request ran past its deadline (HTTP 504).
+
+    Only the *waiting* is cancelled: the solve keeps running in a helper
+    thread, publishes its coalesced flight, and lands in the cache — so a
+    timed-out request's retry (and every coalesced waiter) still gets the
+    result.
+    """
+
+
+class ScenarioSolveError(Exception):
+    """One scenario's solve failed; the failure is contained to it.
+
+    The HTTP layer maps this to a structured per-scenario error (a 500
+    envelope on ``/solve``, an ``{"type": "error"}`` record on ``/suite``)
+    rather than poisoning the whole suite or server.
+    """
+
+    def __init__(self, scenario_id: str, cause: BaseException) -> None:
+        super().__init__(
+            f"scenario {scenario_id} failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.scenario_id = scenario_id
+        self.cause = cause
 
 
 def scenario_request_key(spec: ScenarioSpec, *, lp_strategy: str) -> str:
@@ -107,6 +141,14 @@ class SolverService:
         ``None`` keeps both caches purely in memory.
     max_memory_entries:
         Memory-LRU bound of the scenario-level cache.
+    deadline_s:
+        Default per-request deadline in seconds (``repro serve
+        --deadline``); a request may override it with ``?deadline_s=``.
+        ``None`` disables deadlines.
+    max_inflight:
+        Load-shedding bound: when this many requests are already being
+        handled, further ones are refused admission (the HTTP layer turns
+        that into 503 + ``Retry-After``).  ``None`` admits everything.
 
     The service holds a process-wide HiGHS call counter open for its whole
     lifetime (for :meth:`metrics`); call :meth:`close` when done, or use the
@@ -124,7 +166,13 @@ class SolverService:
         lp_chunk_size: int = 64,
         share_orbits: bool = False,
         max_memory_entries: int = 4096,
+        deadline_s: Optional[float] = None,
+        max_inflight: Optional[int] = None,
     ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
         if runner is None:
             engine_cache = ResultCache(
                 directory=Path(cache_dir) if cache_dir is not None else None
@@ -148,9 +196,20 @@ class SolverService:
             cache=self.scenario_cache,
             registry=runner.engine.registry,
         )
+        self.deadline_s = deadline_s
+        self.max_inflight = max_inflight
         self._started = time.monotonic()
         self._metrics_lock = threading.Lock()
-        self._requests: Dict[str, int] = {"scenario": 0, "suite": 0, "errors": 0}
+        self._requests: Dict[str, int] = {
+            "scenario": 0,
+            "suite": 0,
+            "errors": 0,
+            "shed": 0,
+            "deadline_expired": 0,
+            "failed": 0,
+        }
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
         self._highs_cm = count_highs_calls(all_threads=True)
         self._highs = self._highs_cm.__enter__()
         self._highs_last = 0
@@ -170,6 +229,52 @@ class SolverService:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    # Admission control (load shedding) and graceful drain
+    # ------------------------------------------------------------------
+    def try_admit(self) -> bool:
+        """Claim one in-flight slot; ``False`` means shed this request.
+
+        Every admitted request must be paired with a :meth:`release` (the
+        HTTP layer does this in a ``finally``), which is also what lets
+        :meth:`drain` know when shutdown may proceed.
+        """
+        with self._inflight_cond:
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                with self._metrics_lock:
+                    self._requests["shed"] += 1
+                get_registry().counter(
+                    "serve.shed", "requests refused under load"
+                ).inc()
+                return False
+            self._inflight += 1
+            return True
+
+    def release(self) -> None:
+        """Return an in-flight slot claimed by :meth:`try_admit`."""
+        with self._inflight_cond:
+            self._inflight = max(0, self._inflight - 1)
+            self._inflight_cond.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_cond:
+            return self._inflight
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait for in-flight requests to finish; ``False`` on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._inflight_cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cond.wait(remaining)
+            return True
 
     # ------------------------------------------------------------------
     # Request parsing
@@ -229,18 +334,31 @@ class SolverService:
         timing-only ``seconds`` field, so cached and fresh answers to the
         same request are byte-identical; timing is reported per request in
         the response envelope instead.
+
+        Failure containment: a scenario whose solve raises becomes a
+        :class:`~repro.engine.scheduler.UnitFailure` payload — its own
+        request (and any coalesced waiters) fails with a structured error
+        while every other scenario in the batch completes normally.
         """
         outcomes: List[Tuple[Any, float]] = []
         for spec in specs:
             start = time.perf_counter()
-            (result,) = list(self.runner.run([spec]))
-            payload = result.as_dict()
-            payload.pop("seconds", None)
+            try:
+                _inject("serve.request", scenario=spec.scenario_id)
+                (result,) = list(self.runner.run([spec]))
+                payload: Any = result.as_dict()
+                payload.pop("seconds", None)
+            except Exception as exc:
+                payload = UnitFailure(exc)
             outcomes.append((payload, time.perf_counter() - start))
         return outcomes
 
     def solve_scenario(
-        self, spec: ScenarioSpec, *, debug_trace: bool = False
+        self,
+        spec: ScenarioSpec,
+        *,
+        debug_trace: bool = False,
+        deadline_s: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Solve one (already validated) scenario; returns the envelope.
 
@@ -257,7 +375,52 @@ class SolverService:
         tracer and the envelope gains a ``"trace"`` key with the per-stage
         breakdown — spans of a debug request therefore live in their own
         trace, not in any globally active one.
+
+        ``deadline_s`` (or the service-wide default) bounds how long this
+        call *waits*: past the deadline it raises :class:`DeadlineExceeded`
+        while the solve finishes on a helper thread — publishing its
+        coalesced flight and caching its result — so a timeout never kills
+        another waiter's request.  A failed solve raises
+        :class:`ScenarioSolveError` carrying the scenario id.
         """
+        deadline = deadline_s if deadline_s is not None else self.deadline_s
+        if deadline is None:
+            return self._solve_scenario_inline(spec, debug_trace=debug_trace)
+        done = threading.Event()
+        box: Dict[str, Any] = {}
+
+        def work() -> None:
+            try:
+                box["result"] = self._solve_scenario_inline(
+                    spec, debug_trace=debug_trace
+                )
+            except BaseException as exc:
+                box["error"] = exc
+            finally:
+                done.set()
+
+        threading.Thread(
+            target=work, name="serve-deadline", daemon=True
+        ).start()
+        if not done.wait(deadline):
+            with self._metrics_lock:
+                self._requests["deadline_expired"] += 1
+            get_registry().counter(
+                "serve.deadline.expired", "requests that ran past a deadline"
+            ).inc()
+            raise DeadlineExceeded(
+                f"request for scenario {spec.scenario_id} exceeded its "
+                f"{deadline:g}s deadline; the solve continues in the "
+                "background and its result will be cached"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def _solve_scenario_inline(
+        self, spec: ScenarioSpec, *, debug_trace: bool = False
+    ) -> Dict[str, Any]:
+        """The deadline-free request path behind :meth:`solve_scenario`."""
         with self._metrics_lock:
             self._requests["scenario"] += 1
         key = scenario_request_key(spec, lp_strategy=self.lp_strategy)
@@ -283,6 +446,10 @@ class SolverService:
         registry.counter(
             f"serve.requests.{source}", "scenario requests by answer source"
         ).inc()
+        if isinstance(payload, UnitFailure):
+            with self._metrics_lock:
+                self._requests["failed"] += 1
+            raise ScenarioSolveError(spec.scenario_id, payload.error)
         envelope = {
             "scenario_id": spec.scenario_id,
             "source": source,
@@ -298,14 +465,22 @@ class SolverService:
         return envelope
 
     def solve_scenario_json(
-        self, text: str, *, debug_trace: bool = False
+        self,
+        text: str,
+        *,
+        debug_trace: bool = False,
+        deadline_s: Optional[float] = None,
     ) -> Dict[str, Any]:
         """``POST /solve`` semantics: parse, validate, solve, envelope."""
         return self.solve_scenario(
-            self.parse_scenario(text), debug_trace=debug_trace
+            self.parse_scenario(text),
+            debug_trace=debug_trace,
+            deadline_s=deadline_s,
         )
 
-    def iter_suite_json(self, text: str) -> Iterator[Dict[str, Any]]:
+    def iter_suite_json(
+        self, text: str, *, deadline_s: Optional[float] = None
+    ) -> Iterator[Dict[str, Any]]:
         """``POST /suite`` semantics: one result record per scenario.
 
         Parsing and validation happen eagerly (raising
@@ -314,6 +489,11 @@ class SolverService:
         declaration order -- each one as soon as it is solved, so callers
         can stream -- followed by one ``{"type": "summary", ...}`` record
         with per-source counts.
+
+        Failure containment: a scenario that fails (or runs past
+        ``deadline_s``) yields one structured ``{"type": "error", ...}``
+        record and the stream *continues* -- one poisoned scenario never
+        costs the caller the rest of the suite.
         """
         suite, scenarios = self.parse_suite(text)
         with self._metrics_lock:
@@ -321,9 +501,28 @@ class SolverService:
 
         def stream() -> Iterator[Dict[str, Any]]:
             start = time.perf_counter()
-            counts = {"cache": 0, "solved": 0, "coalesced": 0}
+            counts = {"cache": 0, "solved": 0, "coalesced": 0, "failed": 0}
             for spec in scenarios:
-                envelope = self.solve_scenario(spec)
+                try:
+                    envelope = self.solve_scenario(
+                        spec, deadline_s=deadline_s
+                    )
+                except (ScenarioSolveError, DeadlineExceeded) as exc:
+                    counts["failed"] += 1
+                    self.count_error()
+                    yield {
+                        "type": "error",
+                        "scenario_id": spec.scenario_id,
+                        "error": {
+                            "type": (
+                                "deadline_exceeded"
+                                if isinstance(exc, DeadlineExceeded)
+                                else "solve_failed"
+                            ),
+                            "message": str(exc),
+                        },
+                    }
+                    continue
                 counts[envelope["source"]] += 1
                 yield {"type": "result", **envelope}
             yield {

@@ -120,6 +120,8 @@ class TestDiskTier:
             "evictions",
             "disk_evictions",
             "invalidations",
+            "quarantined",
+            "write_errors",
         }
 
 

@@ -1,0 +1,20 @@
+"""Plan isolation for the faults tests.
+
+These tests install their own :class:`FaultPlan` objects; a plan inherited
+from the ``REPRO_FAULT_PLAN`` environment variable (as the CI chaos jobs
+set) would collide with those installs.  Each test therefore starts with a
+clean slate: no active plan and the env lookup marked as already done.
+The env-loading tests re-arm the lookup explicitly via monkeypatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.faults.plan as plan_module
+
+
+@pytest.fixture(autouse=True)
+def _isolated_fault_plan(monkeypatch):
+    monkeypatch.setattr(plan_module, "_active_plan", None)
+    monkeypatch.setattr(plan_module, "_env_checked", True)

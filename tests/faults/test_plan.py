@@ -1,0 +1,304 @@
+"""FaultPlan/FaultSpec: validation, determinism, wire format, installation."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+import repro.faults.plan as plan_module
+from repro.faults import (
+    KINDS,
+    SEAMS,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    InjectedWorkerCrash,
+    active_plan,
+    inject,
+    install_plan,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_seam_rejected(self):
+        with pytest.raises(ValueError, match="unknown seam"):
+            FaultSpec(seam="not.a.seam", every=2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(seam="lp.highs.call", kind="explode", every=2)
+
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec(seam="lp.highs.call")  # neither
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec(seam="lp.highs.call", probability=0.5, every=2)  # both
+
+    def test_corrupt_only_on_cache_seams(self):
+        FaultSpec(seam="cache.disk.read", kind="corrupt", every=2)  # fine
+        with pytest.raises(ValueError, match="corrupt"):
+            FaultSpec(seam="lp.highs.call", kind="corrupt", every=2)
+
+    def test_crash_only_on_worker_seam(self):
+        FaultSpec(seam="engine.worker", kind="crash", every=2)  # fine
+        with pytest.raises(ValueError, match="crash"):
+            FaultSpec(seam="serve.request", kind="crash", every=2)
+
+    def test_latency_needs_duration(self):
+        with pytest.raises(ValueError, match="latency_s"):
+            FaultSpec(seam="serve.request", kind="latency", every=2)
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(seam="lp.highs.call", probability=1.5)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="bogus"):
+            FaultSpec.from_dict({"seam": "lp.highs.call", "every": 2, "bogus": 1})
+
+
+class TestWireFormat:
+    def test_plan_round_trips_exactly(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(seam="lp.highs.call", every=3, max_injections=2),
+                FaultSpec(
+                    seam="cache.disk.read",
+                    kind="corrupt",
+                    probability=0.25,
+                    message="torn",
+                ),
+            ],
+            seed=7,
+            name="round-trip",
+        )
+        again = FaultPlan.from_json(json.dumps(plan.to_dict()))
+        assert again.to_dict() == plan.to_dict()
+        assert again.seed == 7 and again.name == "round-trip"
+
+    def test_unknown_plan_field_rejected(self):
+        with pytest.raises(ValueError, match="surprise"):
+            FaultPlan.from_dict({"faults": [], "surprise": True})
+
+    def test_load_names_plan_after_file(self, tmp_path):
+        path = tmp_path / "my_chaos.json"
+        path.write_text(json.dumps({"seed": 1, "faults": []}))
+        assert FaultPlan.load(path).name == "my_chaos"
+
+    def test_ci_plan_file_is_loadable_and_transient_only(self):
+        """The committed CI chaos plan must parse and stay maskable:
+        every-Nth (N >= 2) raises, corrupt-only on cache seams, latency."""
+        plan = FaultPlan.load("benchmarks/fault_plan_ci.json")
+        assert plan.specs, "CI plan must actually inject something"
+        for spec in plan.specs:
+            assert spec.probability == 0.0, "CI plan must be deterministic"
+            if spec.kind == "raise":
+                assert spec.every >= 2, (
+                    "an every-1 raise defeats the retry layer and would "
+                    "make CI results diverge"
+                )
+            assert spec.kind != "crash", "worker crashes are not transient"
+
+
+class TestDeterminism:
+    def test_every_nth_fires_deterministically(self):
+        plan = FaultPlan([FaultSpec(seam="lp.highs.call", every=2)], seed=0)
+        fired = []
+        with install_plan(plan):
+            for _ in range(6):
+                try:
+                    inject("lp.highs.call")
+                    fired.append(False)
+                except InjectedFault:
+                    fired.append(True)
+        assert fired == [False, True, False, True, False, True]
+        assert plan.log == [
+            ("lp.highs.call", "raise", 2),
+            ("lp.highs.call", "raise", 4),
+            ("lp.highs.call", "raise", 6),
+        ]
+
+    def test_probability_draws_identical_across_resets(self):
+        plan = FaultPlan(
+            [FaultSpec(seam="lp.highs.call", probability=0.4)], seed=123
+        )
+
+        def run() -> list:
+            with install_plan(plan):
+                for _ in range(50):
+                    try:
+                        inject("lp.highs.call")
+                    except InjectedFault:
+                        pass
+            return list(plan.log)
+
+        first = run()
+        plan.reset()
+        second = run()
+        assert first == second
+        assert first, "probability 0.4 over 50 hits must fire sometimes"
+
+    def test_two_plans_same_seed_agree(self):
+        spec = {"seam": "lp.highs.call", "probability": 0.3}
+        a = FaultPlan([FaultSpec(**spec)], seed=9)
+        b = FaultPlan([FaultSpec(**spec)], seed=9)
+        for _ in range(40):
+            fa, fb = a.check("lp.highs.call"), b.check("lp.highs.call")
+            assert (fa is None) == (fb is None)
+        assert a.log == b.log
+
+    def test_max_injections_caps_firing(self):
+        plan = FaultPlan(
+            [FaultSpec(seam="lp.highs.call", every=1, max_injections=2)]
+        )
+        outcomes = [plan.check("lp.highs.call") for _ in range(5)]
+        assert [f is not None for f in outcomes] == [
+            True, True, False, False, False,
+        ]
+        assert plan.injected() == 2
+        assert plan.hits() == 5
+
+    def test_reset_rewinds_everything(self):
+        plan = FaultPlan([FaultSpec(seam="lp.highs.call", every=2)])
+        for _ in range(4):
+            plan.check("lp.highs.call")
+        plan.reset()
+        assert plan.hits() == 0 and plan.injected() == 0 and plan.log == []
+
+
+class TestInjectBehaviour:
+    def test_no_plan_is_a_noop(self):
+        assert active_plan() is None
+        assert inject("lp.highs.call") is None
+
+    def test_raise_kind_raises_with_context(self):
+        plan = FaultPlan([FaultSpec(seam="lp.highs.call", every=1)])
+        with install_plan(plan):
+            with pytest.raises(InjectedFault, match="variables=9"):
+                inject("lp.highs.call", variables=9)
+
+    def test_crash_kind_is_a_broken_pool(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        plan = FaultPlan(
+            [FaultSpec(seam="engine.worker", kind="crash", every=1)]
+        )
+        with install_plan(plan):
+            with pytest.raises(BrokenProcessPool):
+                inject("engine.worker")
+        assert issubclass(InjectedWorkerCrash, InjectedFault)
+
+    def test_corrupt_kind_returned_to_call_site(self):
+        plan = FaultPlan(
+            [FaultSpec(seam="cache.disk.read", kind="corrupt", every=1)]
+        )
+        with install_plan(plan):
+            fault = inject("cache.disk.read")
+        assert fault is not None and fault.kind == "corrupt"
+
+    def test_latency_kind_sleeps_then_continues(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    seam="serve.request", kind="latency",
+                    every=1, latency_s=0.01,
+                )
+            ]
+        )
+        with install_plan(plan):
+            assert inject("serve.request") is None  # slept, no error
+        assert plan.injected() == 1
+
+    def test_firing_increments_the_metrics_counter(self):
+        from repro.obs.metrics import get_registry
+
+        counter = get_registry().counter("faults.injected.lp.highs.call")
+        before = counter.value
+        plan = FaultPlan([FaultSpec(seam="lp.highs.call", every=1)])
+        with install_plan(plan):
+            with pytest.raises(InjectedFault):
+                inject("lp.highs.call")
+        assert counter.value == before + 1
+
+    def test_first_firing_spec_wins(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(seam="cache.disk.read", kind="corrupt", every=2),
+                FaultSpec(seam="cache.disk.read", kind="raise", every=2),
+            ]
+        )
+        assert plan.check("cache.disk.read") is None
+        fault = plan.check("cache.disk.read")
+        assert fault.kind == "corrupt" and fault.spec_index == 0
+        # Both specs advanced their counters even though only one fired.
+        assert plan.hits() == 4
+
+
+class TestInstallation:
+    def test_install_is_exclusive(self):
+        first = FaultPlan([FaultSpec(seam="lp.highs.call", every=2)])
+        second = FaultPlan([FaultSpec(seam="serve.request", every=2)])
+        with install_plan(first):
+            assert active_plan() is first
+            with pytest.raises(RuntimeError, match="already installed"):
+                with second.install():
+                    pass
+        assert active_plan() is None
+
+    def test_install_plan_tolerates_none(self):
+        with install_plan(None) as plan:
+            assert plan is None
+
+    def test_env_var_plan_loads_lazily(self, tmp_path, monkeypatch):
+        path = tmp_path / "env_plan.json"
+        path.write_text(
+            json.dumps(
+                {"seed": 3, "faults": [{"seam": "lp.highs.call", "every": 2}]}
+            )
+        )
+        monkeypatch.setenv("REPRO_FAULT_PLAN", str(path))
+        monkeypatch.setattr(plan_module, "_env_checked", False)
+        monkeypatch.setattr(plan_module, "_active_plan", None)
+        plan = active_plan()
+        assert plan is not None and plan.name == "env_plan"
+        assert plan.seed == 3
+
+    def test_env_var_absent_checks_once(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT_PLAN", raising=False)
+        monkeypatch.setattr(plan_module, "_env_checked", False)
+        monkeypatch.setattr(plan_module, "_active_plan", None)
+        assert active_plan() is None
+        assert plan_module._env_checked is True
+
+    def test_check_is_thread_safe(self):
+        plan = FaultPlan(
+            [FaultSpec(seam="lp.highs.call", every=2)], seed=0
+        )
+        n_threads, per_thread = 8, 250
+
+        def hammer():
+            for _ in range(per_thread):
+                plan.check("lp.highs.call")
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        assert plan.hits() == total
+        assert plan.injected() == total // 2
+
+
+def test_seams_and_kinds_are_stable_public_names():
+    """The documented seam/kind vocabulary the README and plans rely on."""
+    assert SEAMS == (
+        "lp.highs.call",
+        "cache.disk.read",
+        "cache.disk.write",
+        "engine.worker",
+        "serve.request",
+    )
+    assert KINDS == ("raise", "latency", "corrupt", "crash")

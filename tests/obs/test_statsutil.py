@@ -22,6 +22,8 @@ class TestAsDict:
             "dedup_saved",
             "coalesced",
             "pool_fallbacks",
+            "pool_respawns",
+            "unit_failures",
         ]
         assert stats.as_dict() == stats_as_dict(stats)
 
@@ -34,6 +36,8 @@ class TestAsDict:
             "evictions",
             "disk_evictions",
             "invalidations",
+            "quarantined",
+            "write_errors",
         ]
 
     def test_batch_solve_stats_shape(self):

@@ -153,7 +153,12 @@ class TestSolving:
         assert summary["sources"]["solved"] == 2
         # A replayed suite is answered purely from the cache.
         replay = list(service.iter_suite_json(suite.to_json()))
-        assert replay[-1]["sources"] == {"cache": 2, "solved": 0, "coalesced": 0}
+        assert replay[-1]["sources"] == {
+            "cache": 2,
+            "solved": 0,
+            "coalesced": 0,
+            "failed": 0,
+        }
         assert [r["result"] for r in replay[:-1]] == [
             r["result"] for r in records[:-1]
         ]
