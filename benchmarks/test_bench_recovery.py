@@ -1,0 +1,100 @@
+"""Experiment RECOVERY -- what verified, crash-safe execution costs.
+
+The verification tentpole is only shippable if certifying every cached
+read is effectively free on the warm path and the fsync'd checkpoint
+journal doesn't dominate a suite run.  This benchmark pins both against
+the shared measurement protocol of ``repro bench --suite recovery``
+(:func:`repro.cli.recovery_measurements` -- same code, so the CLI gate
+against ``BENCH_recovery_baseline.json`` and this test can never drift
+apart):
+
+* **cached-read verification**: a warm suite re-run from a cold memory
+  tier (every LP answered by a checksummed disk read) with
+  ``verify="cached"`` must carry an *implied* certificate overhead --
+  per-certificate microbench cost times certificates issued -- under
+  **5%** of the verify-off wall time, and a single certificate must stay
+  under a millisecond;
+* **journal durability tax**: one flushed-and-fsynced checkpoint append
+  must cost well under the time of even the cheapest scenario solve, so
+  ``--checkpoint`` never becomes the bottleneck of a suite run.
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI smoke variant and
+``REPRO_BENCH_OUT=<path>`` to write the measured rows as JSON.
+
+This is an ablation of this reproduction's infrastructure, not a figure
+of the paper.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import recovery_measurements
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+REPEATS = 3
+
+
+@pytest.fixture(scope="session")
+def measurements():
+    """Best-of-N recovery timings via the shared CLI protocol."""
+    return recovery_measurements(QUICK, REPEATS)
+
+
+def test_recovery_verify_overhead_under_five_percent(measurements, report):
+    """Acceptance: certifying cached reads costs < 5% of the warm path."""
+    overhead = measurements["recovery_overhead"]
+    report(
+        "RECOVERY: cached-read verification overhead"
+        + (" (quick mode)" if QUICK else ""),
+        (
+            f"{overhead['scenarios']}-scenario warm re-run issuing "
+            f"{overhead['certificates']} certificates at "
+            f"{overhead['certify_us']:.1f}us each = "
+            f"{overhead['implied_overhead_pct']:.3f}% of the "
+            f"{overhead['disabled_seconds'] * 1e3:.1f}ms verify-off run "
+            f"(verify-on/off wall ratio {1 / overhead['speedup']:.3f})"
+        ),
+    )
+    assert overhead["certificates"] > 0, (
+        "the verified run certified nothing -- verify='cached' is not "
+        "reaching the disk-read path and the benchmark proves nothing"
+    )
+    assert overhead["implied_overhead_pct"] < 5.0, (
+        "certifying cached reads must stay under 5% of the warm "
+        f"cached-read path; implied {overhead['implied_overhead_pct']:.3f}%"
+    )
+    # One certificate is a handful of CSR mat-vecs; if it crosses 1ms the
+    # no-solver guarantee of repro.lp.verify has regressed.
+    assert overhead["certify_us"] < 1000.0, (
+        f"a single solution certificate costs {overhead['certify_us']:.0f}us"
+    )
+
+    out = os.environ.get("REPRO_BENCH_OUT")
+    if out:
+        Path(out).write_text(json.dumps(measurements, indent=2))
+
+
+def test_recovery_journal_append_is_cheap(measurements, report):
+    """Acceptance: one fsync'd checkpoint append stays under 50ms."""
+    journal = measurements["recovery_journal"]
+    report(
+        "RECOVERY: checkpoint journal durability tax",
+        (
+            f"{journal['appends']} flushed+fsync'd appends at "
+            f"{journal['append_ms']:.2f}ms each "
+            f"({journal['appends_per_second']:.0f}/s)"
+        ),
+    )
+    # Generous bound: scenario solves are tens of milliseconds at minimum,
+    # so a sub-50ms fsync'd append can never dominate a suite run even on
+    # slow CI disks.
+    assert journal["append_ms"] < 50.0, (
+        f"one checkpoint append costs {journal['append_ms']:.1f}ms; the "
+        "journal write path has regressed (or lost its batching of "
+        "open/flush/fsync into a single append)"
+    )

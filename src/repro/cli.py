@@ -39,7 +39,14 @@ from .analysis import growth_sweep, radius_sweep, render_rows, safe_ratio_sweep
 from .exceptions import ScenarioError
 from .apps import random_isp_network, random_sensor_network
 from .core import local_averaging_solution, optimal_solution, safe_solution
-from .engine import BatchSolver, EXECUTION_MODES, ResultCache, RunRegistry, default_cache_dir
+from .engine import (
+    BatchSolver,
+    EXECUTION_MODES,
+    VERIFY_MODES,
+    ResultCache,
+    RunRegistry,
+    default_cache_dir,
+)
 from .generators import (
     cycle_instance,
     grid_instance,
@@ -303,7 +310,7 @@ def run_batch(args: argparse.Namespace) -> int:
 
 
 def run_cache(args: argparse.Namespace) -> int:
-    """Inspect, clear or prune the on-disk result cache."""
+    """Inspect, clear, prune or verify the on-disk result cache."""
     directory = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
     cache = ResultCache(directory=directory)
     if args.action == "stats":
@@ -322,12 +329,75 @@ def run_cache(args: argparse.Namespace) -> int:
     elif args.action == "prune":
         if args.max_bytes is None or args.max_bytes < 0:
             raise SystemExit("cache prune requires --max-bytes BYTES (>= 0)")
+        swept = cache.sweep_tmp()
         outcome = cache.prune(args.max_bytes)
         print(
             f"pruned {outcome['removed_entries']} entries "
             f"({outcome['removed_bytes']} bytes) under {directory}; "
             f"{outcome['remaining_bytes']} bytes remain"
+            + (f"; swept {swept} orphaned .tmp file(s)" if swept else "")
         )
+    elif args.action == "verify":
+        return _run_cache_verify(directory, cache, repair=args.repair)
+    return 0
+
+
+def _run_cache_verify(
+    directory: Path, cache: ResultCache, *, repair: bool
+) -> int:
+    """``repro cache verify [--repair]``: offline fsck of every disk tier.
+
+    Walks the engine tier (envelope checksums, key/shape integrity) and —
+    when a ``serve/`` scenario tier exists under the same directory — the
+    scenario tier too, where each entry is additionally run through the
+    full scenario certificate
+    (:func:`~repro.scenarios.certify.certify_scenario_result`).  Damage is
+    reported per tier; with ``--repair`` damaged entries are quarantined
+    to ``.corrupt`` sidecars (and stale ``.tmp`` files swept), otherwise
+    the exit code is 1 so CI can gate on a clean cache.
+    """
+    from .exceptions import VerificationError
+    from .scenarios.certify import certify_scenario_result
+    from .scenarios.spec import ScenarioSpec
+
+    reports = [
+        {"tier": "engine", "directory": str(directory), **cache.fsck(repair=repair)}
+    ]
+    serve_dir = directory / "serve"
+    if serve_dir.is_dir():
+
+        def certify(key: str, value: object) -> bool:
+            if not isinstance(value, dict) or "spec" not in value:
+                raise VerificationError("scenario payload missing its spec")
+            spec = ScenarioSpec.from_dict(dict(value["spec"]))
+            certify_scenario_result(spec, value)
+            return True
+
+        serve_cache = ResultCache(directory=serve_dir)
+        reports.append(
+            {
+                "tier": "serve",
+                "directory": str(serve_dir),
+                **serve_cache.fsck(repair=repair, certify=certify),
+            }
+        )
+    _print("CACHE: offline verification (fsck)", render_rows(reports))
+    damaged = sum(int(report["damaged"]) for report in reports)
+    quarantined = sum(int(report["quarantined"]) for report in reports)
+    noun = "entry" if damaged == 1 else "entries"
+    if damaged:
+        if repair:
+            print(
+                f"repaired: {quarantined} damaged {noun} quarantined to "
+                ".corrupt sidecars; re-solved on next use"
+            )
+            return 0
+        print(
+            f"{damaged} damaged {noun} found; rerun with --repair to "
+            "quarantine"
+        )
+        return 1
+    print("all entries verified clean")
     return 0
 
 
@@ -910,6 +980,123 @@ def faults_measurements(quick: bool, repeats: int) -> Dict[str, object]:
     }
 
 
+def recovery_measurements(quick: bool, repeats: int) -> Dict[str, object]:
+    """Measure the verification + durability layer's steady-state cost.
+
+    The single source of truth for the recovery benchmark protocol, shared
+    by ``repro bench --suite recovery`` and
+    ``benchmarks/test_bench_recovery.py``:
+
+    * ``recovery_overhead`` — a small suite is solved once to warm the
+      disk cache, then re-run from a cold memory tier (every LP answered
+      by a *disk* read) with ``verify="off"`` and again with
+      ``verify="cached"``, best-of-``repeats``.  Wall-clock noise drowns
+      the true delta on runs this short, so the headline is the *implied*
+      overhead: the measured per-certificate cost
+      (:func:`repro.lp.verify_solution`, microbenchmark) times the
+      certificates one warm run issues (counted by the engine's
+      ``verify_passed``), as a fraction of the verify-off wall time.
+      ``speedup`` (off/cached wall ratio, ≈1.0 when certification is
+      cheap) feeds the ``--compare`` regression gate.
+    * ``recovery_journal`` — checkpoint-journal append throughput: each
+      append is flushed **and fsynced** before the runner moves on, so
+      this measures the durability tax per completed scenario.
+    """
+    import tempfile
+
+    from .lp import verify_solution
+    from .scenarios.checkpoint import CheckpointJournal
+    from .scenarios.spec import ScenarioSpec
+
+    n_scenarios = 4 if quick else 8
+    cert_calls = 500 if quick else 2000
+    journal_appends = 50 if quick else 200
+
+    specs = [
+        ScenarioSpec(
+            family=("cycle", "path")[i % 2],
+            params={"n": 8 + 2 * i},
+            radii=(1, 2),
+        )
+        for i in range(n_scenarios)
+    ]
+
+    # (1) per-certificate cost, microbenchmarked on a real solved instance.
+    problem = grid_instance((8, 8), torus=True)
+    engine = BatchSolver(cache=ResultCache())
+    (reference,) = engine.solve_maxmin_batch([problem])
+    cert_s = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        for _ in range(cert_calls):
+            verify_solution(problem, reference)
+        cert_s = min(cert_s, (time.perf_counter() - start) / cert_calls)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-recovery-") as tmp:
+        directory = Path(tmp)
+        # Warm the disk tier once; all timed runs below are pure reads.
+        baseline = [
+            r.as_dict()
+            for r in SuiteRunner(
+                cache=ResultCache(directory=directory)
+            ).run(specs)
+        ]
+
+        off_s = on_s = float("inf")
+        certificates = 0
+        for _ in range(max(1, repeats)):
+            # A fresh ResultCache each run keeps the memory tier cold, so
+            # every hit is a disk read -- the tier verify="cached" certifies.
+            runner = SuiteRunner(
+                cache=ResultCache(directory=directory), verify="off"
+            )
+            start = time.perf_counter()
+            list(runner.run(specs))
+            off_s = min(off_s, time.perf_counter() - start)
+
+            runner = SuiteRunner(
+                cache=ResultCache(directory=directory), verify="cached"
+            )
+            start = time.perf_counter()
+            list(runner.run(specs))
+            on_s = min(on_s, time.perf_counter() - start)
+            certificates = runner.engine.stats.verify_passed
+
+        # (2) fsync'd journal append throughput.
+        journal_s = float("inf")
+        rows = [dict(baseline[i % len(baseline)]) for i in range(journal_appends)]
+        for attempt in range(max(1, repeats)):
+            journal = CheckpointJournal(
+                directory / f"bench-{attempt}.ndjson", fresh=True
+            )
+            start = time.perf_counter()
+            for row in rows:
+                journal.append(row)
+            journal_s = min(
+                journal_s, (time.perf_counter() - start) / journal_appends
+            )
+
+    implied_pct = 100.0 * certificates * cert_s / off_s
+
+    return {
+        "quick": quick,
+        "recovery_overhead": {
+            "scenarios": n_scenarios,
+            "certificates": certificates,
+            "certify_us": round(cert_s * 1e6, 2),
+            "disabled_seconds": round(off_s, 4),
+            "enabled_seconds": round(on_s, 4),
+            "implied_overhead_pct": round(implied_pct, 4),
+            "speedup": round(off_s / on_s, 3),
+        },
+        "recovery_journal": {
+            "appends": journal_appends,
+            "append_ms": round(journal_s * 1e3, 3),
+            "appends_per_second": round(1.0 / journal_s, 1),
+        },
+    }
+
+
 #: Sections of the bench JSON that carry a speedup the ``--compare`` gate
 #: judges, with their display labels.
 _BENCH_SECTIONS = {
@@ -920,6 +1107,7 @@ _BENCH_SECTIONS = {
     "serve_replay": "serve traffic replay (cache + coalescing)",
     "obs_overhead": "tracing overhead on the warm serve path",
     "faults_overhead": "idle fault-harness overhead on the warm serve path",
+    "recovery_overhead": "cached-read verification overhead (warm suite re-run)",
 }
 
 
@@ -1032,6 +1220,22 @@ def run_bench(args: argparse.Namespace) -> int:
                 "speedup": overhead["speedup"],
             }
         )
+    if args.suite in ("recovery", "all"):
+        measured = recovery_measurements(quick, args.repeats)
+        rows.update({k: v for k, v in measured.items() if k != "quick"})
+        overhead = measured["recovery_overhead"]
+        display.append(
+            {
+                "benchmark": _BENCH_SECTIONS["recovery_overhead"],
+                "instance": (
+                    f"{overhead['scenarios']} warm scenarios / "
+                    f"{overhead['certificates']} certificates"
+                ),
+                "baseline_s": overhead["disabled_seconds"],
+                "batched_s": overhead["enabled_seconds"],
+                "speedup": overhead["speedup"],
+            }
+        )
     _print(
         f"BENCH: {args.suite} suite" + (" (quick mode)" if quick else ""),
         render_rows(display),
@@ -1128,6 +1332,7 @@ def run_serve(args: argparse.Namespace) -> int:
         share_orbits=args.share_orbits,
         deadline_s=args.deadline,
         max_inflight=args.max_inflight,
+        verify=args.verify,
     )
     server = ReproServer(
         service, host=args.host, port=args.port, verbose=args.verbose
@@ -1249,6 +1454,9 @@ def run_suite_cmd(args: argparse.Namespace) -> int:
     else:
         directory = Path(args.cache_dir) if args.cache_dir else default_cache_dir()
         cache = ResultCache(directory=directory)
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint PATH")
+
     registry = RunRegistry()
     runner = SuiteRunner(
         mode=args.mode,
@@ -1258,6 +1466,7 @@ def run_suite_cmd(args: argparse.Namespace) -> int:
         share_orbits=args.share_orbits,
         lp_strategy=args.lp_strategy,
         lp_chunk_size=args.lp_chunk_size,
+        verify=args.verify,
     )
 
     done = [0]
@@ -1271,9 +1480,20 @@ def run_suite_cmd(args: argparse.Namespace) -> int:
         )
 
     with install_plan(plan):
-        report = runner.run_suite(suite, on_result=progress)
+        report = runner.run_suite(
+            suite,
+            on_result=progress,
+            checkpoint=Path(args.checkpoint) if args.checkpoint else None,
+            resume=args.resume,
+        )
     print()
     print(render_text(report))
+    if args.checkpoint:
+        print(
+            f"checkpoint journal: {args.checkpoint} "
+            f"({report.restored} scenario(s) restored, "
+            f"{len(report.results) - report.restored} solved this run)"
+        )
     if plan is not None:
         print(
             f"fault plan {plan.name!r}: {plan.injected()} faults injected, "
@@ -1424,9 +1644,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=0, help="seed for randomised instances")
 
     sp = sub.add_parser(
-        "cache", help="inspect, clear or prune the on-disk result cache"
+        "cache",
+        help="inspect, clear, prune or verify (fsck) the on-disk result cache",
     )
-    sp.add_argument("action", choices=["stats", "clear", "prune"], help="what to do")
+    sp.add_argument(
+        "action",
+        choices=["stats", "clear", "prune", "verify"],
+        help="what to do",
+    )
     sp.add_argument(
         "--cache-dir",
         default=None,
@@ -1438,6 +1663,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="prune: drop oldest entries until the disk tier fits this many bytes",
     )
+    sp.add_argument(
+        "--repair",
+        action="store_true",
+        help="verify: quarantine damaged entries (.corrupt sidecars) and "
+        "sweep stale .tmp files instead of exiting non-zero",
+    )
 
     sp = sub.add_parser(
         "bench",
@@ -1445,7 +1676,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument(
         "--suite",
-        choices=["views", "lp-batch", "serve", "obs", "faults", "all"],
+        choices=["views", "lp-batch", "serve", "obs", "faults", "recovery", "all"],
         default="views",
         help="which benchmark suite to measure (default views)",
     )
@@ -1566,6 +1797,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fault-plan JSON file to install for the run (deterministic "
         "chaos testing; see repro.faults)",
     )
+    sp_run.add_argument(
+        "--checkpoint",
+        default=None,
+        help="append each completed scenario to this fsync'd NDJSON journal "
+        "(crash-safe progress; pair with --resume to continue a killed run)",
+    )
+    sp_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed scenarios from the --checkpoint journal and "
+        "solve only what is missing (zero re-solves, identical report)",
+    )
+    sp_run.add_argument(
+        "--verify",
+        choices=list(VERIFY_MODES),
+        default="off",
+        help="solution certificates: 'cached' re-verifies disk-cache reads "
+        "before trusting them (quarantine + re-solve on damage), 'all' also "
+        "certifies fresh solves (default off)",
+    )
 
     suite_sub.add_parser(
         "list-families", help="list registered instance families and their parameters"
@@ -1649,6 +1900,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="fault-plan JSON file to install while serving (deterministic "
         "chaos testing; see repro.faults)",
+    )
+    sp.add_argument(
+        "--verify",
+        choices=list(VERIFY_MODES),
+        default="off",
+        help="verify results before serving them: engine-level solution "
+        "certificates plus per-request scenario certification (clients "
+        "may override per request with ?verify=1/0; default off)",
     )
 
     sp_show = suite_sub.add_parser(

@@ -20,6 +20,7 @@ share the process-wide default engine of :func:`get_default_engine`.
 from .cache import CacheStats, ResultCache, default_cache_dir
 from .executor import (
     EXECUTION_MODES,
+    VERIFY_MODES,
     BatchSolver,
     EngineStats,
     LocalLPOutcome,
@@ -46,6 +47,7 @@ __all__ = [
     "CacheStats",
     "EngineStats",
     "EXECUTION_MODES",
+    "VERIFY_MODES",
     "FINGERPRINT_VERSION",
     "JobRecord",
     "LocalLPOutcome",

@@ -16,6 +16,20 @@ JSON-serialisable; non-finite floats are permitted (Python's ``json`` module
 round-trips ``Infinity`` and ``NaN``), which matters because vacuous local
 LPs have objective ``inf``.
 
+Every disk entry is an **envelope** ``{"key", "sha256", "value"}``: the
+digest is the content fingerprint of the value
+(:func:`repro.engine.fingerprint.fingerprint_data`), recomputed and
+compared on every read, so an entry whose bytes were flipped on disk — even
+one that still parses as JSON — is detected, quarantined to ``*.corrupt``
+and treated as a miss instead of being served as truth.  Pre-envelope
+entries (no ``"sha256"`` field) are still readable; they simply don't get
+the checksum protection until rewritten.  A process killed between
+``mkstemp`` and ``os.replace`` strands a ``*.tmp`` file; construction
+sweeps stale ones (and :meth:`ResultCache.fsck` / ``repro cache prune``
+sweep unconditionally), and ``*.corrupt`` sidecars count toward the
+``max_disk_bytes`` budget so quarantined junk cannot pin the tier over
+its cap.
+
 Hit/miss/eviction counters are kept in :class:`CacheStats`; the acceptance
 tests use them to prove that warm re-runs are pure cache traffic.
 
@@ -33,13 +47,14 @@ import json
 import os
 import tempfile
 import threading
+import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple, Union
 
-from ..faults import InjectedFault, RetryPolicy
+from ..faults import InjectedFault, RetryPolicy, apply_crash
 from ..faults import inject as _inject
 from ..obs.metrics import get_registry
 from ..obs.statsutil import stats_as_dict
@@ -47,6 +62,11 @@ from ..obs.statsutil import stats_as_dict
 __all__ = ["CacheStats", "ResultCache", "default_cache_dir"]
 
 _MISSING = object()
+
+#: A stranded ``*.tmp`` file younger than this is assumed to belong to a
+#: live concurrent writer and is left alone by the construction-time sweep
+#: (explicit sweeps — ``fsck``, ``repro cache prune`` — use age 0).
+_TMP_SWEEP_AGE_S = 60.0
 
 #: Cache-I/O retry: transient disk errors (and the injected faults that
 #: stand in for them) are retried briefly; a missing file is a miss, not
@@ -163,6 +183,11 @@ class ResultCache:
         self._scan_lock = threading.Lock()
         if self.directory is not None:
             self.directory = Path(self.directory)
+            # Crash hygiene: a process SIGKILLed between ``mkstemp`` and
+            # ``os.replace`` strands a ``*.tmp`` that no code path would
+            # ever touch again.  Stale ones (no live writer) are removed
+            # at construction so restarts start clean.
+            self.sweep_tmp(min_age_s=_TMP_SWEEP_AGE_S)
 
     # ------------------------------------------------------------------
     # Disk-tier helpers
@@ -225,13 +250,35 @@ class ResultCache:
         if not isinstance(data, dict) or data.get("key") != key:
             self._quarantine(path)
             return _MISSING
-        return data.get("value")
+        value = data.get("value")
+        if "sha256" in data and data["sha256"] != self._digest(value):
+            # Parses fine, but the content does not match its own checksum:
+            # silent corruption (a flipped byte inside a number, say) that
+            # the JSON parser cannot see.  Never serve it.
+            self._quarantine(path)
+            return _MISSING
+        return value
+
+    @staticmethod
+    def _digest(value: Any) -> str:
+        """Content digest of a payload (the envelope's ``sha256`` field).
+
+        Computed over the canonical JSON of the *parsed* value, not the
+        raw bytes, so it is stable across whitespace/key-order differences
+        and across the write/read round-trip (JSON floats parse back to
+        the exact double that was serialised).
+        """
+        from .fingerprint import fingerprint_data
+
+        return fingerprint_data(value)
 
     def _disk_write(self, key: str, value: Any) -> int:
         if self.directory is None:
             return 0
         path = self._entry_path(key)
-        payload = json.dumps({"key": key, "value": value})
+        payload = json.dumps(
+            {"key": key, "sha256": self._digest(value), "value": value}
+        )
 
         def _attempt() -> int:
             fault = _inject("cache.disk.write", key=key[:12])
@@ -239,15 +286,19 @@ class ResultCache:
             # the atomic-rename machinery still runs, exercising the read
             # side's quarantine path end-to-end.
             text = (
-                payload
-                if fault is None
-                else payload[: len(payload) // 2] + "<torn by fault plan>"
+                payload[: len(payload) // 2] + "<torn by fault plan>"
+                if fault is not None and fault.kind == "corrupt"
+                else payload
             )
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w") as handle:
                     handle.write(text)
+                # The chaos harness's most hostile instruction: the entry
+                # exists only as a ``*.tmp``, the real path is untouched.
+                # A ``crash-process`` fault SIGKILLs exactly here.
+                apply_crash(fault)
                 os.replace(tmp, path)
             except BaseException:
                 try:
@@ -280,25 +331,72 @@ class ResultCache:
             return
         yield from root.glob("??/*.json")
 
+    def _iter_accounted_paths(self) -> Iterator[Path]:
+        """Everything that counts toward the disk budget: live entries
+        plus quarantined ``*.corrupt`` sidecars (junk must not pin the
+        tier over its cap)."""
+        yield from self._iter_disk_paths()
+        if self.directory is None:
+            return
+        root = Path(self.directory)
+        if root.is_dir():
+            yield from root.glob("??/*.corrupt")
+
+    def sweep_tmp(self, *, min_age_s: float = 0.0) -> int:
+        """Remove stranded ``*.tmp`` files; returns how many were removed.
+
+        A temp file only exists between ``mkstemp`` and ``os.replace`` in
+        :meth:`_disk_write`; anything older than ``min_age_s`` seconds is a
+        leftover from a killed process, not a live writer.
+        """
+        if self.directory is None:
+            return 0
+        root = Path(self.directory)
+        if not root.is_dir():
+            return 0
+        cutoff = time.time() - min_age_s
+        removed = 0
+        for path in root.glob("??/*.tmp"):
+            try:
+                if path.stat().st_mtime > cutoff:
+                    continue
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+        return removed
+
     # ------------------------------------------------------------------
     # Core operations
     # ------------------------------------------------------------------
     def get(self, key: str, default: Any = None) -> Any:
         """Look up ``key``; promotes disk hits into the memory tier."""
+        value, _tier = self.get_with_tier(key, default)
+        return value
+
+    def get_with_tier(self, key: str, default: Any = None) -> Tuple[Any, Optional[str]]:
+        """Like :meth:`get`, but also reports where the hit came from.
+
+        Returns ``(value, tier)`` with tier ``"memory"``, ``"disk"`` or
+        ``None`` (miss).  Verification layers key off the tier: a payload
+        freshly promoted from disk has crossed an untrusted boundary and
+        may warrant re-certification, a memory hit has not left the
+        process.
+        """
         with self._lock:
             if key in self._memory:
                 self._memory.move_to_end(key)
                 self.stats.hits += 1
-                return self._memory[key]
+                return self._memory[key], "memory"
         value = self._disk_read(key)
         with self._lock:
             if value is not _MISSING:
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
                 self._memory_store(key, value)
-                return value
+                return value, "disk"
             self.stats.misses += 1
-        return default
+        return default, None
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` under ``key`` in both tiers."""
@@ -354,7 +452,7 @@ class ResultCache:
         with self._scan_lock:
             entries = []
             total = 0
-            for path in self._iter_disk_paths():
+            for path in self._iter_accounted_paths():
                 try:
                     stat = path.stat()
                 except OSError:
@@ -420,11 +518,12 @@ class ResultCache:
             with self._scan_lock:
                 with self._lock:
                     self._disk_usage = None
-                for path in list(self._iter_disk_paths()):
+                for path in list(self._iter_accounted_paths()):
                     try:
                         path.unlink()
                     except OSError:
                         pass
+            self.sweep_tmp(min_age_s=0.0)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -445,11 +544,105 @@ class ResultCache:
         return sum(1 for _ in self._iter_disk_paths())
 
     def disk_bytes(self) -> int:
-        """Total size of the disk tier in bytes (0 without a directory)."""
+        """Total size of the disk tier in bytes (0 without a directory).
+
+        Includes quarantined ``*.corrupt`` sidecars: they occupy real disk
+        and must count against ``max_disk_bytes`` (the prune policy can
+        reclaim them like any cold entry).
+        """
         total = 0
-        for path in self._iter_disk_paths():
+        for path in self._iter_accounted_paths():
             try:
                 total += path.stat().st_size
             except OSError:
                 pass
         return total
+
+    def quarantine_key(self, key: str) -> bool:
+        """Quarantine ``key``'s disk entry and evict it from memory.
+
+        The verification layer calls this when a *parseable, checksum-clean*
+        entry fails its solution certificate (the strongest check): the
+        entry is renamed to ``*.corrupt`` for post-mortem, dropped from the
+        memory tier, and the next lookup is a true miss that re-solves.
+        Returns whether a disk entry existed.
+        """
+        with self._lock:
+            self._memory.pop(key, None)
+        if self.directory is None:
+            return False
+        path = self._entry_path(key)
+        if not path.exists():
+            return False
+        self._quarantine(path)
+        return True
+
+    def fsck(
+        self,
+        *,
+        repair: bool = False,
+        certify: Optional[Callable[[str, Any], bool]] = None,
+    ) -> Dict[str, int]:
+        """Offline integrity walk of the disk tier (``repro cache verify``).
+
+        Every entry is re-read and validated: JSON parse, envelope key
+        match, checksum recomputation, and — when ``certify`` is given —
+        a full solution-certificate check of the payload (``certify(key,
+        value)`` returns ``False`` or raises to flag damage).  With
+        ``repair`` the damaged entries are quarantined to ``*.corrupt``
+        and stranded ``*.tmp`` files are swept; without it the walk is
+        read-only.  Returns counters::
+
+            {"scanned", "ok", "legacy", "damaged", "quarantined",
+             "tmp_swept", "corrupt_sidecars"}
+
+        ``legacy`` counts healthy pre-envelope entries (no checksum field);
+        they are not damage, merely unprotected until rewritten.
+        """
+        report = {
+            "scanned": 0, "ok": 0, "legacy": 0, "damaged": 0,
+            "quarantined": 0, "tmp_swept": 0, "corrupt_sidecars": 0,
+        }
+        for path in list(self._iter_disk_paths()):
+            report["scanned"] += 1
+            damaged = False
+            data: Any = None
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                damaged = True
+            if not damaged:
+                key = path.stem
+                if not isinstance(data, dict) or data.get("key") != key:
+                    damaged = True
+                elif "sha256" in data and data["sha256"] != self._digest(
+                    data.get("value")
+                ):
+                    damaged = True
+                else:
+                    value = data.get("value")
+                    if certify is not None:
+                        try:
+                            damaged = not certify(key, value)
+                        except Exception:
+                            damaged = True
+            if damaged:
+                report["damaged"] += 1
+                if repair:
+                    self._quarantine(path)
+                    with self._lock:
+                        self._memory.pop(path.stem, None)
+                    report["quarantined"] += 1
+            else:
+                report["ok"] += 1
+                if isinstance(data, dict) and "sha256" not in data:
+                    report["legacy"] += 1
+        if repair:
+            report["tmp_swept"] = self.sweep_tmp(min_age_s=0.0)
+        if self.directory is not None:
+            root = Path(self.directory)
+            if root.is_dir():
+                report["corrupt_sidecars"] = sum(
+                    1 for _ in root.glob("??/*.corrupt")
+                )
+        return report

@@ -67,7 +67,12 @@ from typing import (
 import numpy as np
 
 from ..core.problem import Agent, MaxMinLP
-from ..exceptions import InfeasibleError, SolverError, UnboundedError
+from ..exceptions import (
+    InfeasibleError,
+    SolverError,
+    UnboundedError,
+    VerificationError,
+)
 from ..faults import InjectedFault, RetryPolicy
 from ..faults import inject as _inject
 from ..io import solution_from_dict, solution_to_dict
@@ -80,6 +85,7 @@ from ..lp.maxmin import (
     solve_maxmin_buffer_batch,
 )
 from ..lp.standard import LPStatus
+from ..lp.verify import verify_engine_payload
 from ..obs.statsutil import merge_stats, stats_as_dict
 from ..obs.trace import Tracer, activate, capture_context, get_tracer, span
 from .cache import ResultCache
@@ -97,6 +103,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a cycle
 
 __all__ = [
     "EXECUTION_MODES",
+    "VERIFY_MODES",
     "BatchSolver",
     "EngineStats",
     "LocalLPOutcome",
@@ -107,6 +114,11 @@ __all__ = [
 
 #: Supported execution modes of :class:`BatchSolver`.
 EXECUTION_MODES = ("serial", "thread", "process")
+
+#: Supported verification modes: ``"off"`` trusts every payload, ``"cached"``
+#: re-certifies anything read from the *disk* tier before it is published,
+#: ``"all"`` additionally certifies every fresh solve.
+VERIFY_MODES = ("off", "cached", "all")
 
 #: Transient-worker retry: injected ``engine.worker`` faults (the chaos
 #: stand-in for a flaky spawn) are absorbed with short backoff before the
@@ -159,6 +171,15 @@ class EngineStats:
     unit_failures:
         Solve units that failed while the rest of their batch completed
         (failure containment, see :class:`~repro.engine.scheduler.UnitFailure`).
+    verify_passed:
+        Solution certificates that passed (cached payloads re-certified
+        before publishing, plus fresh solves under ``verify="all"``).
+    verify_failed:
+        Certificates that failed — each one is a wrong answer that was
+        *not* served.
+    verify_requeued:
+        Failed cached payloads demoted to misses and re-solved (always
+        equal to the cached share of ``verify_failed``).
     """
 
     batches: int = 0
@@ -169,6 +190,9 @@ class EngineStats:
     pool_fallbacks: int = 0
     pool_respawns: int = 0
     unit_failures: int = 0
+    verify_passed: int = 0
+    verify_failed: int = 0
+    verify_requeued: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return stats_as_dict(self)
@@ -326,6 +350,18 @@ class BatchSolver:
         execution mode or worker count -- so serial, thread and process
         runs of the same batch produce identical results even under
         ``"stacked"``.
+    verify:
+        Solution-certificate policy (:mod:`repro.lp.verify`).  ``"off"``
+        (default) trusts payloads as before.  ``"cached"`` re-certifies
+        every payload read from the **disk** tier before it is published:
+        a corrupt-but-parseable entry fails its certificate, is
+        quarantined, and the request transparently re-solves — a detected
+        :class:`~repro.exceptions.VerificationError` instead of a wrong
+        answer.  ``"all"`` additionally certifies every fresh solve (a
+        failed fresh certificate is a contained unit failure).  Outcomes
+        are counted in :class:`EngineStats` and under
+        ``engine.verify.{passed,failed,requeued}`` in the metrics
+        registry.
     """
 
     def __init__(
@@ -339,6 +375,7 @@ class BatchSolver:
         lp_strategy: str = "per-lp",
         lp_chunk_size: int = 64,
         canon_index=None,
+        verify: str = "off",
     ) -> None:
         if mode not in EXECUTION_MODES:
             raise ValueError(
@@ -353,11 +390,16 @@ class BatchSolver:
             )
         if lp_chunk_size < 1:
             raise ValueError("lp_chunk_size must be at least 1")
+        if verify not in VERIFY_MODES:
+            raise ValueError(
+                f"unknown verify mode {verify!r}; expected one of {VERIFY_MODES}"
+            )
         self.mode = mode
         self.max_workers = max_workers
         self.canonical_local = canonical_local
         self.lp_strategy = lp_strategy
         self.lp_chunk_size = lp_chunk_size
+        self.verify = verify
         self.stats = EngineStats()
         self.lp_stats = BatchSolveStats()
         # The request loop (dedup → cache → single-flight → solve) lives in
@@ -542,7 +584,77 @@ class BatchSolver:
             solve=lambda built: self._solve_pending(
                 [_SolveUnit.of(unit) for unit in built], kind=kind, backend=backend
             ),
+            validate=self._verify_validator(kind=kind),
         )
+
+    # ------------------------------------------------------------------
+    # Solution certificates (the ``verify=`` policy)
+    # ------------------------------------------------------------------
+    def _verify_validator(self, *, kind: str):
+        """The scheduler's cache-hit validation gate for this verify mode.
+
+        ``None`` when verification is off (the scheduler then skips the
+        gate entirely — zero overhead on the hot path).  Under
+        ``"cached"`` only disk-tier hits are certified: a memory hit never
+        left the process, so it cannot have been corrupted at rest; under
+        ``"all"`` every hit is.
+        """
+        if self.verify == "off":
+            return None
+
+        def validate(key: str, payload: Any, tier: str, builder) -> bool:
+            if self.verify == "cached" and tier != "disk":
+                return True
+            return self._certify_payload(
+                key, payload, builder, kind=kind, cached=True
+            )
+
+        return validate
+
+    def _certify_payload(
+        self,
+        key: str,
+        payload: Any,
+        builder: Callable[[], Any],
+        *,
+        kind: str,
+        cached: bool,
+    ) -> bool:
+        """Certify one payload against its rebuilt solve unit.
+
+        Counts the outcome; a failed *cached* payload is quarantined (so
+        the disk entry cannot poison the next process) and demoted to a
+        miss.  Returns whether the payload may be published.
+        """
+        registry = get_registry()
+        try:
+            unit = _SolveUnit.of(builder())
+            verify_engine_payload(unit.compiled, unit.agents, payload, kind=kind)
+        except VerificationError as exc:
+            self.stats.verify_failed += 1
+            registry.counter(
+                "engine.verify.failed", "solution certificates that failed"
+            ).inc()
+            if cached:
+                self.stats.verify_requeued += 1
+                registry.counter(
+                    "engine.verify.requeued",
+                    "failed cached payloads demoted to re-solves",
+                ).inc()
+                if self.cache is not None:
+                    self.cache.quarantine_key(key)
+                warnings.warn(
+                    f"cached payload {key[:12]}... failed its solution "
+                    f"certificate ({exc}); entry quarantined, re-solving",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return False
+        self.stats.verify_passed += 1
+        registry.counter(
+            "engine.verify.passed", "solution certificates that passed"
+        ).inc()
+        return True
 
     def _solve_pending(
         self,
@@ -666,6 +778,34 @@ class BatchSolver:
                             payloads[idx] = (UnitFailure(exc), share)
                         else:
                             payloads[idx] = (payload, share)
+
+        if self.verify == "all":
+            # Certify fresh solves too: a failed certificate here means
+            # the *solver* produced an inconsistent result, so the unit
+            # fails (contained) rather than caching a wrong answer.
+            registry = get_registry()
+            for idx, unit in enumerate(units):
+                entry = payloads[idx]
+                if entry is None or isinstance(entry[0], UnitFailure):
+                    continue
+                payload, share = entry
+                try:
+                    verify_engine_payload(
+                        unit.compiled, unit.agents, payload, kind=kind
+                    )
+                except VerificationError as exc:
+                    self.stats.verify_failed += 1
+                    registry.counter(
+                        "engine.verify.failed",
+                        "solution certificates that failed",
+                    ).inc()
+                    payloads[idx] = (UnitFailure(exc), share)
+                else:
+                    self.stats.verify_passed += 1
+                    registry.counter(
+                        "engine.verify.passed",
+                        "solution certificates that passed",
+                    ).inc()
         return payloads  # type: ignore[return-value]
 
     @staticmethod

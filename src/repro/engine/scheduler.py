@@ -147,6 +147,7 @@ class RequestScheduler:
         kind: str,
         solve: Callable[[List[Any]], Sequence[Tuple[Any, float]]],
         details: bool = False,
+        validate: Optional[Callable[[str, Any, str, Callable[[], Any]], bool]] = None,
     ) -> List[Any]:
         """Answer every key, invoking ``solve`` only for unclaimed misses.
 
@@ -158,6 +159,15 @@ class RequestScheduler:
         ``details=True`` each entry is ``(payload, source)`` where source is
         ``"cache"``, ``"solved"`` or ``"coalesced"``.
 
+        ``validate`` is the verification gate on the cache path: called as
+        ``validate(key, payload, tier, builder)`` for every cache hit
+        (tier ``"memory"`` or ``"disk"``) *before* the payload is
+        published.  Returning ``False`` rejects the hit — the key falls
+        through to the normal miss path (build, single-flight, solve) as
+        if the cache had never answered, so a corrupt-but-parseable entry
+        becomes a fresh solve instead of a wrong answer.  The validator is
+        responsible for quarantining whatever it rejected.
+
         When tracing is enabled the whole batch runs under an
         ``engine.schedule`` span tagged with how each deduplicated key was
         answered; per-source counters also land in the global metrics
@@ -167,7 +177,7 @@ class RequestScheduler:
             "engine.schedule", kind=kind, units=len(keys)
         ) as schedule_span:
             results, sources = self._run_batch(
-                keys, builders, kind=kind, solve=solve
+                keys, builders, kind=kind, solve=solve, validate=validate
             )
             counts: Dict[str, int] = {}
             for source in sources.values():
@@ -198,6 +208,7 @@ class RequestScheduler:
         *,
         kind: str,
         solve: Callable[[List[Any]], Sequence[Tuple[Any, float]]],
+        validate: Optional[Callable[[str, Any, str, Callable[[], Any]], bool]] = None,
     ) -> Tuple[Dict[str, Any], Dict[str, str]]:
         """The request loop of :meth:`run`: payload and source per key."""
         self.stats.batches += 1
@@ -214,11 +225,17 @@ class RequestScheduler:
         attached: List[Tuple[str, _Flight]] = []
         try:
             for key, idx in first_index.items():
-                cached = (
-                    self.cache.get(key, _MISSING)
+                cached, tier = (
+                    self.cache.get_with_tier(key, _MISSING)
                     if self.cache is not None
-                    else _MISSING
+                    else (_MISSING, None)
                 )
+                if cached is not _MISSING and validate is not None:
+                    # Verification gate: a rejected hit is demoted to a
+                    # miss, so the key claims a flight and re-solves like
+                    # any cold request.
+                    if not validate(key, cached, tier, builders[idx]):
+                        cached = _MISSING
                 if cached is not _MISSING:
                     results[key] = cached
                     sources[key] = SOURCE_CACHE

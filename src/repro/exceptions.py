@@ -15,6 +15,7 @@ __all__ = [
     "SolverError",
     "ConstructionError",
     "ScenarioError",
+    "VerificationError",
 ]
 
 
@@ -59,4 +60,15 @@ class ScenarioError(ReproError):
     Typical causes: an unknown instance-family name, a parameter not
     accepted by the family's builder, or an unknown suite name passed to
     :func:`repro.scenarios.suites.get_suite`.
+    """
+
+
+class VerificationError(ReproError):
+    """Raised when a solution fails its independent certificate check.
+
+    A certificate check (:mod:`repro.lp.verify`) re-derives feasibility and
+    objective consistency straight from the instance's CSR buffers, with no
+    solver in the loop.  This error therefore means the *result* is wrong --
+    a corrupted cache entry, a buggy backend, or a violated approximation
+    bound -- not that the instance is hard to solve.
     """

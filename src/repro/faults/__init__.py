@@ -13,6 +13,7 @@ from .plan import (
     InjectedFault,
     InjectedWorkerCrash,
     active_plan,
+    apply_crash,
     inject,
     install_plan,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "InjectedWorkerCrash",
     "RetryPolicy",
     "active_plan",
+    "apply_crash",
     "inject",
     "install_plan",
 ]

@@ -25,6 +25,13 @@ Fault kinds
     ``concurrent.futures.process.BrokenProcessPool`` so the executor's
     pool-recovery arm (respawn once, then degrade to serial) handles it
     exactly as it would a real dead worker.
+``crash-process``
+    Only meaningful on the durability seams (``cache.disk.write``,
+    ``suite.checkpoint``): the call site receives the fired
+    :class:`ActiveFault` back and, at its most damaging instruction,
+    calls :func:`apply_crash` -- ``SIGKILL`` to the *whole process*, no
+    cleanup of any kind.  This is how the crash-recovery chaos tests kill
+    a real subprocess deterministically mid-write.
 
 Installation is a context manager (:meth:`FaultPlan.install`), the
 ``REPRO_FAULT_PLAN`` environment variable (a path to a plan JSON file,
@@ -43,6 +50,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import signal
 import threading
 import time
 from concurrent.futures.process import BrokenProcessPool
@@ -62,6 +70,7 @@ __all__ = [
     "InjectedFault",
     "InjectedWorkerCrash",
     "active_plan",
+    "apply_crash",
     "inject",
     "install_plan",
 ]
@@ -73,9 +82,10 @@ SEAMS: Tuple[str, ...] = (
     "cache.disk.write",
     "engine.worker",
     "serve.request",
+    "suite.checkpoint",
 )
 
-KINDS: Tuple[str, ...] = ("raise", "latency", "corrupt", "crash")
+KINDS: Tuple[str, ...] = ("raise", "latency", "corrupt", "crash", "crash-process")
 
 #: Seams where a ``corrupt`` fault makes sense (the call site mangles the
 #: bytes it just read/wrote).
@@ -83,6 +93,12 @@ _CORRUPT_SEAMS = ("cache.disk.read", "cache.disk.write")
 
 #: The one seam where ``crash`` (a broken process pool) makes sense.
 _CRASH_SEAMS = ("engine.worker",)
+
+#: Seams where ``crash-process`` (SIGKILL of the whole process, applied by
+#: the call site at its most damaging instruction) makes sense: mid
+#: cache-entry write (between ``mkstemp`` and ``os.replace``) and mid
+#: checkpoint-journal append (after a partial line).
+_CRASH_PROCESS_SEAMS = ("cache.disk.write", "suite.checkpoint")
 
 
 class InjectedFault(Exception):
@@ -152,6 +168,11 @@ class FaultSpec:
             raise ValueError(
                 f"kind 'crash' only applies to {_CRASH_SEAMS[0]!r}, "
                 f"not {self.seam!r}"
+            )
+        if self.kind == "crash-process" and self.seam not in _CRASH_PROCESS_SEAMS:
+            raise ValueError(
+                f"kind 'crash-process' only applies to durability seams "
+                f"({', '.join(_CRASH_PROCESS_SEAMS)}), not {self.seam!r}"
             )
         if (self.probability > 0.0) == (self.every > 0):
             raise ValueError(
@@ -399,8 +420,10 @@ def inject(seam: str, **context: Any) -> Optional[ActiveFault]:
     """The seam hook: one global ``None`` check when no plan is active.
 
     ``raise``/``crash`` faults raise here; ``latency`` sleeps here; a
-    ``corrupt`` fault is returned for the call site to apply.  ``context``
-    keys ride along in the exception message for debuggability.
+    ``corrupt`` or ``crash-process`` fault is returned for the call site
+    to apply (mangle the bytes, or :func:`apply_crash` at the precise
+    instruction the chaos test wants to die at).  ``context`` keys ride
+    along in the exception message for debuggability.
     """
     plan = _active_plan
     if plan is None:
@@ -427,4 +450,20 @@ def inject(seam: str, **context: Any) -> Optional[ActiveFault]:
         raise InjectedFault(detail)
     if fault.kind == "crash":
         raise InjectedWorkerCrash(detail)
-    return fault  # corrupt: applied by the call site
+    return fault  # corrupt / crash-process: applied by the call site
+
+
+def apply_crash(fault: Optional[ActiveFault]) -> None:
+    """Kill the process *now* if ``fault`` is a fired ``crash-process``.
+
+    Call sites place this at the exact instruction the chaos test wants to
+    die at -- e.g. between a cache entry's ``mkstemp`` and its
+    ``os.replace``, or halfway through a checkpoint-journal line -- so the
+    SIGKILL lands deterministically mid-write.  ``SIGKILL`` (not
+    ``sys.exit``) because the whole point is that *no* cleanup handler,
+    ``finally`` block or ``atexit`` hook runs: the recovery machinery must
+    cope with the rawest possible death.  A ``None`` or non-crash fault is
+    a no-op, so the call can be unconditional after an ``inject()``.
+    """
+    if fault is not None and fault.kind == "crash-process":
+        os.kill(os.getpid(), signal.SIGKILL)

@@ -33,6 +33,14 @@ from .maxmin import (
 from .mwu import MWUResult, mwu_feasibility, solve_max_min_mwu
 from .simplex import solve_simplex
 from .standard import LinearProgram, LPResult, LPStatus
+from .verify import (
+    DEFAULT_TOL,
+    SolutionCertificate,
+    verify_engine_payload,
+    verify_lp_solution,
+    verify_safe_ratio,
+    verify_solution,
+)
 
 __all__ = [
     "LinearProgram",
@@ -57,4 +65,10 @@ __all__ = [
     "MWUResult",
     "mwu_feasibility",
     "solve_max_min_mwu",
+    "DEFAULT_TOL",
+    "SolutionCertificate",
+    "verify_engine_payload",
+    "verify_lp_solution",
+    "verify_safe_ratio",
+    "verify_solution",
 ]

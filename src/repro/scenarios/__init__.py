@@ -26,6 +26,8 @@ Quick start::
         print(result.label, result.safe_ratio)
 """
 
+from .certify import certify_scenario_result
+from .checkpoint import CheckpointJournal, JournalLoad, canonical_report
 from .registry import (
     FamilyInfo,
     ParamInfo,
@@ -45,7 +47,9 @@ from .spec import ScenarioGrid, ScenarioSpec, SuiteSpec
 from .suites import builtin_suites, get_suite, paper_suite, stress_suite
 
 __all__ = [
+    "CheckpointJournal",
     "FamilyInfo",
+    "JournalLoad",
     "ParamInfo",
     "RadiusResult",
     "ScenarioGrid",
@@ -56,6 +60,8 @@ __all__ = [
     "SuiteSpec",
     "build_instance",
     "builtin_suites",
+    "canonical_report",
+    "certify_scenario_result",
     "describe_families",
     "family_schema",
     "get_family",

@@ -1,0 +1,169 @@
+"""Solver-free certification of served scenario payloads.
+
+A scenario payload (:meth:`~repro.scenarios.runner.ScenarioResult.as_dict`)
+is a bundle of numbers tied together by exact arithmetic identities: the
+safe objective is a deterministic function of the instance, every ratio is
+a division of two other fields, and the paper's Theorem guarantees
+``optimum ≤ Δ_I^V · safe``.  :func:`certify_scenario_result` rechecks all
+of them from scratch — rebuilding the instance from the spec (builders are
+seeded, so reconstruction is exact) and recomputing what can be recomputed
+without any LP solve — so a single corrupted field breaks at least one
+identity and is detected, while an intact payload passes bit-for-bit.
+
+This is the serving layer's ``?verify=1`` backstop: cheaper than a
+re-solve by orders of magnitude, yet strong enough that a
+bit-flipped-but-parseable cache entry cannot be served as truth.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Mapping
+
+from ..core.safe import safe_approximation_guarantee, safe_values_array
+from ..core.solution import approximation_ratio
+from ..exceptions import VerificationError
+from .registry import build_instance
+from .spec import ScenarioSpec
+
+__all__ = ["certify_scenario_result"]
+
+#: Recomputed quantities must match to this relative tolerance.  The safe
+#: objective and all ratios are *deterministic* recomputations (same code,
+#: same floats), so the tolerance only absorbs cross-platform libm noise.
+SCENARIO_TOL = 1e-9
+
+
+def _close(a: float, b: float, *, tol: float) -> bool:
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def certify_scenario_result(
+    spec: ScenarioSpec,
+    payload: Any,
+    *,
+    tol: float = SCENARIO_TOL,
+) -> Dict[str, Any]:
+    """Certify one scenario payload against its spec; raises on any damage.
+
+    Checks, in order: payload shape and spec identity (the embedded spec
+    must fingerprint to the requested ``scenario_id``), instance shape
+    (agent/resource/beneficiary counts against a rebuilt instance), the
+    recomputed safe objective and guarantee, the ``safe_ratio`` and
+    per-radius ``ratio`` division identities, the theorem bound
+    ``optimum ≤ Δ_I^V · safe_objective``, and that no achieved objective
+    exceeds the optimum.  Returns ``{"checks": <n>}`` on success; raises
+    :class:`~repro.exceptions.VerificationError` naming the first failed
+    identity otherwise.
+    """
+    if not isinstance(payload, Mapping):
+        raise VerificationError(
+            f"scenario payload is not a mapping: {type(payload).__name__}"
+        )
+    checks = 0
+
+    def ensure(ok: bool, message: str) -> None:
+        nonlocal checks
+        checks += 1
+        if not ok:
+            raise VerificationError(f"scenario certificate failed: {message}")
+
+    required = {
+        "scenario_id", "spec", "n_agents", "n_resources", "n_beneficiaries",
+        "optimum", "safe_objective", "safe_ratio", "safe_guarantee", "radii",
+    }
+    missing = required - set(payload)
+    ensure(not missing, f"missing fields {sorted(missing)}")
+    ensure(
+        payload["scenario_id"] == spec.scenario_id,
+        f"scenario_id {payload['scenario_id']!r} != requested "
+        f"{spec.scenario_id!r}",
+    )
+    try:
+        embedded = ScenarioSpec.from_dict(dict(payload["spec"]))
+    except (TypeError, ValueError, KeyError) as exc:
+        raise VerificationError(
+            f"scenario certificate failed: embedded spec does not parse "
+            f"({exc})"
+        ) from None
+    ensure(
+        embedded.scenario_id == spec.scenario_id,
+        "embedded spec fingerprints to a different scenario",
+    )
+
+    problem = build_instance(spec)
+    ensure(
+        int(payload["n_agents"]) == problem.n_agents
+        and int(payload["n_resources"]) == problem.n_resources
+        and int(payload["n_beneficiaries"]) == problem.n_beneficiaries,
+        "instance shape mismatch against the rebuilt instance",
+    )
+
+    safe_objective = float(problem.objective(safe_values_array(problem)))
+    ensure(
+        _close(float(payload["safe_objective"]), safe_objective, tol=tol),
+        f"safe_objective {payload['safe_objective']!r} != recomputed "
+        f"{safe_objective!r}",
+    )
+    guarantee = float(safe_approximation_guarantee(problem))
+    ensure(
+        float(payload["safe_guarantee"]) == guarantee,
+        f"safe_guarantee {payload['safe_guarantee']!r} != recomputed "
+        f"{guarantee!r}",
+    )
+
+    optimum = float(payload["optimum"])
+    ensure(
+        math.isfinite(optimum) and optimum >= 0.0,
+        f"optimum {optimum!r} is not a finite non-negative value",
+    )
+    ensure(
+        _close(
+            float(payload["safe_ratio"]),
+            approximation_ratio(optimum, safe_objective),
+            tol=tol,
+        ),
+        "safe_ratio does not equal optimum / safe_objective",
+    )
+    ensure(
+        optimum >= safe_objective - tol * max(1.0, optimum),
+        "safe objective exceeds the claimed optimum",
+    )
+    # The paper's Theorem: the safe algorithm is a Δ_I^V-approximation.
+    ensure(
+        optimum <= guarantee * safe_objective + tol * max(1.0, optimum),
+        f"theorem bound violated: optimum {optimum!r} > "
+        f"Δ_I^V·safe = {guarantee * safe_objective!r}",
+    )
+
+    radii = payload["radii"]
+    ensure(isinstance(radii, (list, tuple)), "radii is not a list")
+    ensure(
+        [int(entry.get("R", -1)) for entry in radii] == list(spec.radii),
+        "radii entries do not match the requested radii",
+    )
+    for entry in radii:
+        objective = float(entry["objective"])
+        ensure(
+            math.isfinite(objective) and objective >= 0.0,
+            f"radius {entry['R']} objective {objective!r} invalid",
+        )
+        ensure(
+            objective <= optimum + tol * max(1.0, optimum),
+            f"radius {entry['R']} objective exceeds the optimum",
+        )
+        ensure(
+            _close(
+                float(entry["ratio"]),
+                approximation_ratio(optimum, objective),
+                tol=tol,
+            ),
+            f"radius {entry['R']} ratio does not equal optimum / objective",
+        )
+        ensure(
+            float(entry["proven_ratio_bound"]) >= 1.0 - tol,
+            f"radius {entry['R']} proven_ratio_bound below 1",
+        )
+    return {"checks": checks}

@@ -1,0 +1,185 @@
+"""Crash-safe suite progress: an append-only, checksummed NDJSON journal.
+
+:class:`CheckpointJournal` records one line per *completed* scenario of a
+suite run.  Each line is a self-contained record::
+
+    {"digest": "<sha256>", "result": {...}, "scenario_id": "...", "v": 1}
+
+where ``digest`` is the content fingerprint
+(:func:`repro.engine.fingerprint.fingerprint_data`) of the record minus the
+digest itself, so any bit of damage to a line — torn tail from a
+``kill -9``, flipped byte, truncated copy — is detected on load and the
+line is skipped rather than trusted.  Appends are flushed and ``fsync``'d
+before the runner moves on: once a scenario's progress line hits the disk,
+a crash at *any* later instruction loses at most work that was never
+acknowledged.
+
+Durability contract on load:
+
+* a **torn final line** (no trailing record boundary, invalid JSON) is the
+  expected signature of a crash mid-append and is tolerated silently — the
+  scenario it would have recorded simply re-runs;
+* a damaged *interior* line (bad digest, bad JSON, wrong shape) is skipped
+  and counted — resume never trusts an unverifiable record;
+* everything else is keyed by ``scenario_id`` (a content fingerprint of
+  the spec, stable across processes), which is what lets
+  ``repro suite run --resume`` skip completed scenarios *exactly*, and
+  compose with the result cache keyed by the same content.
+
+:func:`canonical_report` strips the volatile fields of a suite report
+(wall-clock ``seconds``, engine/cache counters) so interrupted-and-resumed
+runs can be compared **bit-identically** against uninterrupted ones: the
+deterministic payload — specs, objectives, ratios, counts — must match
+exactly; only the timing may differ.
+
+The ``suite.checkpoint`` fault seam fires once per append; a
+``crash-process`` fault SIGKILLs the process after exactly half the line
+has been written and fsynced, which is how the chaos tests manufacture a
+torn tail deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+from ..engine.fingerprint import fingerprint_data
+from ..faults import apply_crash
+from ..faults import inject as _inject
+
+__all__ = ["CheckpointJournal", "JournalLoad", "canonical_report"]
+
+#: Journal line format version.
+JOURNAL_VERSION = 1
+
+
+@dataclass
+class JournalLoad:
+    """What :meth:`CheckpointJournal.load` recovered from disk.
+
+    Attributes
+    ----------
+    completed:
+        ``scenario_id → result dict`` for every intact line.
+    lines_ok:
+        Intact lines (``len(completed)`` unless a scenario re-appended).
+    lines_skipped:
+        Damaged *interior* lines (bad JSON/digest/shape) that were ignored.
+    torn_tail:
+        Whether the final line was incomplete — the normal crash signature,
+        tolerated without counting as damage.
+    """
+
+    completed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    lines_ok: int = 0
+    lines_skipped: int = 0
+    torn_tail: bool = False
+
+
+class CheckpointJournal:
+    """Append-only journal of completed scenarios (see module docstring)."""
+
+    def __init__(self, path: Union[str, Path], *, fresh: bool = False) -> None:
+        self.path = Path(path)
+        if fresh and self.path.exists():
+            self.path.unlink()
+
+    def append(self, result: Mapping[str, Any]) -> None:
+        """Durably record one completed scenario result (``as_dict`` form).
+
+        The line is fully written, flushed and ``fsync``'d before
+        returning; a crash after this call can never lose the scenario.
+        """
+        record = {
+            "v": JOURNAL_VERSION,
+            "scenario_id": result["scenario_id"],
+            "result": dict(result),
+        }
+        record["digest"] = fingerprint_data(record)
+        line = json.dumps(record, sort_keys=True) + "\n"
+        fault = _inject("suite.checkpoint", scenario=record["scenario_id"][:12])
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if fault is not None and fault.kind == "crash-process":
+                # Chaos: die with exactly half a line durably on disk --
+                # the worst legal torn-tail state ``load`` must survive.
+                handle.write(line[: len(line) // 2])
+                handle.flush()
+                os.fsync(handle.fileno())
+                apply_crash(fault)
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> JournalLoad:
+        """Recover completed scenarios; tolerant of a torn final line."""
+        load = JournalLoad()
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return load
+        lines = text.split("\n")
+        # A healthy journal ends with "\n", so the final split element is
+        # empty; anything non-empty there is the torn tail of a crash.
+        if lines and lines[-1] == "":
+            lines.pop()
+            ends_clean = True
+        else:
+            ends_clean = False
+        for index, line in enumerate(lines):
+            final = index == len(lines) - 1
+            record: Any = None
+            try:
+                record = json.loads(line)
+            except ValueError:
+                if final and not ends_clean:
+                    load.torn_tail = True
+                else:
+                    load.lines_skipped += 1
+                continue
+            if not cls._record_ok(record):
+                # Parses, but fails its own checksum or shape: damage, not
+                # a torn tail -- never trust it, wherever it sits.
+                load.lines_skipped += 1
+                continue
+            load.lines_ok += 1
+            load.completed[record["scenario_id"]] = record["result"]
+        return load
+
+    @staticmethod
+    def _record_ok(record: Any) -> bool:
+        if not isinstance(record, dict):
+            return False
+        if set(record) != {"v", "scenario_id", "result", "digest"}:
+            return False
+        if record["v"] != JOURNAL_VERSION:
+            return False
+        body = {key: record[key] for key in ("v", "scenario_id", "result")}
+        return fingerprint_data(body) == record["digest"]
+
+
+def canonical_report(report: Mapping[str, Any]) -> Dict[str, Any]:
+    """A suite report dict with its volatile fields removed.
+
+    Drops wall-clock timings (the top-level and per-scenario ``seconds``)
+    and the run-shaped ``engine_stats``/``cache_stats`` counters, keeping
+    every deterministic number (specs, optima, objectives, ratios,
+    counts).  Two runs of the same suite — uninterrupted, or killed and
+    resumed — must produce *identical* canonical reports; the crash
+    harness asserts this bit for bit.
+    """
+    out = {
+        key: value
+        for key, value in report.items()
+        if key not in ("engine_stats", "cache_stats", "seconds")
+    }
+    results = []
+    for row in report.get("results", ()):
+        results.append({k: v for k, v in row.items() if k != "seconds"})
+    out["results"] = results
+    return out

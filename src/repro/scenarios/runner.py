@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -89,6 +90,15 @@ class RadiusResult:
             "proven_ratio_bound": self.proven_ratio_bound,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RadiusResult":
+        return cls(
+            R=int(data["R"]),
+            objective=float(data["objective"]),
+            ratio=float(data["ratio"]),
+            proven_ratio_bound=float(data["proven_ratio_bound"]),
+        )
+
 
 @dataclass(frozen=True)
 class ScenarioResult:
@@ -140,16 +150,47 @@ class ScenarioResult:
             "seconds": self.seconds,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioResult":
+        """Rebuild a result from its :meth:`as_dict` record.
+
+        The checkpoint/resume path uses this to restore completed
+        scenarios from the journal; every deterministic field round-trips
+        exactly (the ``seconds`` of the original run ride along, so a
+        resumed report keeps honest per-scenario timings).
+        """
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            n_agents=int(data["n_agents"]),
+            n_resources=int(data["n_resources"]),
+            n_beneficiaries=int(data["n_beneficiaries"]),
+            optimum=float(data["optimum"]),
+            safe_objective=float(data["safe_objective"]),
+            safe_ratio=float(data["safe_ratio"]),
+            safe_guarantee=float(data["safe_guarantee"]),
+            radii=tuple(
+                RadiusResult.from_dict(entry) for entry in data["radii"]
+            ),
+            seconds=float(data["seconds"]),
+        )
+
 
 @dataclass
 class SuiteReport:
-    """The collected outcome of one suite run."""
+    """The collected outcome of one suite run.
+
+    ``restored`` counts scenarios answered from a resume checkpoint
+    instead of being re-run; it is session bookkeeping, deliberately kept
+    *out* of :meth:`as_dict` so an interrupted-and-resumed run's artefact
+    stays bit-identical to an uninterrupted one.
+    """
 
     suite: SuiteSpec
     results: List[ScenarioResult] = field(default_factory=list)
     engine_stats: Dict[str, int] = field(default_factory=dict)
     cache_stats: Dict[str, int] = field(default_factory=dict)
     seconds: float = 0.0
+    restored: int = 0
 
     def scenario_rows(self) -> List[Dict[str, Any]]:
         """One flat table row per (scenario, radius) pair, plus baselines."""
@@ -251,6 +292,10 @@ class SuiteRunner:
         -- same optima and statuses, far fewer solver round-trips, at the
         cost of degenerate LPs possibly picking different equally-optimal
         vertices than the per-LP path would.
+    verify:
+        Solution-certificate policy forwarded to
+        :class:`~repro.engine.BatchSolver` when ``engine`` is not supplied
+        (``"off"``/``"cached"``/``"all"``, see :mod:`repro.lp.verify`).
     """
 
     def __init__(
@@ -264,6 +309,7 @@ class SuiteRunner:
         share_orbits: bool = False,
         lp_strategy: str = "per-lp",
         lp_chunk_size: int = 64,
+        verify: str = "off",
     ) -> None:
         if engine is None:
             engine = BatchSolver(
@@ -273,6 +319,7 @@ class SuiteRunner:
                 registry=registry,
                 lp_strategy=lp_strategy,
                 lp_chunk_size=lp_chunk_size,
+                verify=verify,
             )
         self.engine = engine
         self.share_orbits = share_orbits
@@ -295,7 +342,10 @@ class SuiteRunner:
     # Execution
     # ------------------------------------------------------------------
     def run(
-        self, suite: Union[SuiteSpec, Iterable[ScenarioSpec]]
+        self,
+        suite: Union[SuiteSpec, Iterable[ScenarioSpec]],
+        *,
+        completed: Optional[Dict[str, ScenarioResult]] = None,
     ) -> Iterator[ScenarioResult]:
         """Run every scenario, yielding each result as soon as it is ready.
 
@@ -303,14 +353,29 @@ class SuiteRunner:
         first (one batch per distinct backend), so cross-scenario dedup, the
         warm cache and pooled execution apply to the heaviest LPs of the
         run; the per-scenario work then streams in declaration order.
+
+        ``completed`` maps ``scenario_id`` to an already-finished
+        :class:`ScenarioResult` (a resume checkpoint): those scenarios are
+        yielded verbatim in their declaration position without building
+        their instance or solving *anything* — zero engine work, which is
+        what makes ``--resume`` after a crash exact rather than merely
+        cache-warm.
         """
         scenarios = self.expand(suite)
-        problems: List[MaxMinLP] = [build_instance(spec) for spec in scenarios]
+        completed = completed or {}
+        fresh_ids = [
+            idx
+            for idx, spec in enumerate(scenarios)
+            if spec.scenario_id not in completed
+        ]
+        problems: Dict[int, MaxMinLP] = {
+            idx: build_instance(scenarios[idx]) for idx in fresh_ids
+        }
 
-        with span("suite.optima", scenarios=len(scenarios)):
+        with span("suite.optima", scenarios=len(fresh_ids)):
             by_backend: Dict[str, List[int]] = {}
-            for idx, spec in enumerate(scenarios):
-                by_backend.setdefault(spec.backend, []).append(idx)
+            for idx in fresh_ids:
+                by_backend.setdefault(scenarios[idx].backend, []).append(idx)
             optima: Dict[int, float] = {}
             for backend, indices in by_backend.items():
                 batch = self.engine.solve_maxmin_batch(
@@ -319,7 +384,12 @@ class SuiteRunner:
                 for idx, solved in zip(indices, batch):
                     optima[idx] = float(solved.objective)
 
-        for idx, (spec, problem) in enumerate(zip(scenarios, problems)):
+        for idx, spec in enumerate(scenarios):
+            restored = completed.get(spec.scenario_id)
+            if restored is not None:
+                yield restored
+                continue
+            problem = problems[idx]
             start = time.perf_counter()
             # The span closes before the yield: consumers may pause the
             # generator indefinitely, and their time is not scenario work.
@@ -372,20 +442,50 @@ class SuiteRunner:
         suite: Union[SuiteSpec, Iterable[ScenarioSpec]],
         *,
         on_result: Optional[Callable[[ScenarioResult], None]] = None,
+        checkpoint: Optional[Union[str, "Path"]] = None,
+        resume: bool = False,
     ) -> SuiteReport:
         """Run the whole suite and collect the stream into a report.
 
         ``on_result`` is invoked with each :class:`ScenarioResult` as soon
         as it is ready — the hook the CLI uses for progress lines without
         re-implementing the report assembly.
+
+        ``checkpoint`` enables crash-safe execution: every completed
+        scenario is durably journaled to the given NDJSON path
+        (:class:`~repro.scenarios.checkpoint.CheckpointJournal`) the moment
+        it finishes.  With ``resume`` the journal is loaded first and its
+        intact scenarios are *restored* instead of re-run (keyed by
+        ``scenario_id``, a content fingerprint — so the skip is exact);
+        without ``resume`` an existing journal is truncated and the run
+        starts clean.  Restored scenarios are not re-journaled.
         """
+        from .checkpoint import CheckpointJournal
+
         if not isinstance(suite, SuiteSpec):
             suite = _as_suite(suite)
+        journal: Optional[CheckpointJournal] = None
+        completed: Dict[str, ScenarioResult] = {}
+        if checkpoint is not None:
+            if resume:
+                loaded = CheckpointJournal.load(checkpoint)
+                completed = {
+                    scenario_id: ScenarioResult.from_dict(record)
+                    for scenario_id, record in loaded.completed.items()
+                }
+            journal = CheckpointJournal(checkpoint, fresh=not resume)
+        elif resume:
+            raise ValueError("resume=True requires a checkpoint path")
         start = time.perf_counter()
         results = []
+        restored = 0
         with span("suite.run", suite=suite.name):
-            for result in self.run(suite):
+            for result in self.run(suite, completed=completed):
                 results.append(result)
+                if result.scenario_id in completed:
+                    restored += 1
+                elif journal is not None:
+                    journal.append(result.as_dict())
                 if on_result is not None:
                     on_result(result)
         report = SuiteReport(
@@ -393,6 +493,7 @@ class SuiteRunner:
             results=results,
             engine_stats=self.engine.stats.as_dict(),
             seconds=time.perf_counter() - start,
+            restored=restored,
         )
         if self.engine.cache is not None:
             report.cache_stats = self.engine.cache.stats.as_dict()

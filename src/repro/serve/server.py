@@ -6,7 +6,12 @@ Endpoints
     Body: one :meth:`ScenarioSpec.to_json` document.  Response: one JSON
     envelope ``{"scenario_id", "source", "cached", "seconds", "result"}``.
     With ``?debug=trace`` the envelope also carries a ``"trace"`` key: the
-    request's per-stage span summary (see :mod:`repro.obs`).
+    request's per-stage span summary (see :mod:`repro.obs`).  With
+    ``?verify=1`` the answer is certified before it is served (cached
+    damage is quarantined and transparently re-solved; see
+    :mod:`repro.scenarios.certify`) and the envelope carries
+    ``"verify": "passed"``; ``?verify=0`` opts out of a server-wide
+    ``--verify`` default.  ``?verify=`` works on ``/suite`` too.
 ``POST /suite``
     Body: one :meth:`SuiteSpec.to_json` document.  Response: NDJSON --
     one ``{"type": "result", ...}`` line per scenario, streamed as each is
@@ -205,6 +210,24 @@ class _Handler(BaseHTTPRequestHandler):
             )
         return value
 
+    @staticmethod
+    def _parse_verify(query: Dict[str, str]) -> Optional[bool]:
+        """``?verify=1`` / ``?verify=0`` as a tri-state request override.
+
+        Absent means ``None`` -- the service-wide ``--verify`` default
+        applies; anything other than the accepted spellings is a 400.
+        """
+        raw = query.get("verify")
+        if raw is None:
+            return None
+        if raw in ("1", "true", "yes", "on"):
+            return True
+        if raw in ("0", "false", "no", "off"):
+            return False
+        raise ServeRequestError(
+            f"invalid verify value {raw!r}; expected 1/0 (or true/false)"
+        )
+
     def do_POST(self) -> None:
         streaming = False
         admitted = False
@@ -239,6 +262,7 @@ class _Handler(BaseHTTPRequestHandler):
                         self._read_body(),
                         debug_trace=debug_trace,
                         deadline_s=deadline_s,
+                        verify=self._parse_verify(query),
                     )
                 self._send_json(200, envelope)
             elif path == "/suite":
@@ -247,6 +271,7 @@ class _Handler(BaseHTTPRequestHandler):
                 stream = self.service.iter_suite_json(
                     self._read_body(),
                     deadline_s=self._parse_deadline(query),
+                    verify=self._parse_verify(query),
                 )
                 streaming = True
                 self.send_response(200)

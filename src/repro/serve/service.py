@@ -34,20 +34,23 @@ import contextlib
 import json
 import threading
 import time
+import warnings
 from pathlib import Path
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from .. import __version__
 from ..engine.cache import ResultCache
+from ..engine.executor import VERIFY_MODES
 from ..engine.fingerprint import fingerprint_data
 from ..engine.jobs import RunRegistry
 from ..engine.scheduler import SOURCE_SOLVED, RequestScheduler, UnitFailure
-from ..exceptions import ScenarioError
+from ..exceptions import ScenarioError, VerificationError
 from ..faults import inject as _inject
 from ..lp.backends import count_highs_calls
 from ..obs.metrics import get_registry, render_prometheus
 from ..obs.trace import Tracer, activate, stage_summary
 from ..obs.trace import span as trace_span
+from ..scenarios.certify import certify_scenario_result
 from ..scenarios.runner import SuiteRunner
 from ..scenarios.spec import ScenarioSpec, SuiteSpec
 
@@ -149,6 +152,19 @@ class SolverService:
         Load-shedding bound: when this many requests are already being
         handled, further ones are refused admission (the HTTP layer turns
         that into 503 + ``Retry-After``).  ``None`` admits everything.
+    verify:
+        Result-verification mode, one of
+        :data:`~repro.engine.executor.VERIFY_MODES`.  Forwarded to the
+        engine (LP-level solution certificates) when the runner is built
+        here, and — for any mode other than ``"off"`` — also turns on
+        scenario-level certification
+        (:func:`~repro.scenarios.certify.certify_scenario_result`) for
+        every request by default.  Individual requests can override the
+        default with ``?verify=1`` / ``?verify=0``.  A cached scenario
+        payload that fails its certificate is quarantined and transparently
+        re-solved; a *fresh* payload that fails is a server-side error
+        (:class:`ScenarioSolveError`) — counted under
+        ``serve.verify.{passed,failed,requeued}``.
 
     The service holds a process-wide HiGHS call counter open for its whole
     lifetime (for :meth:`metrics`); call :meth:`close` when done, or use the
@@ -168,11 +184,17 @@ class SolverService:
         max_memory_entries: int = 4096,
         deadline_s: Optional[float] = None,
         max_inflight: Optional[int] = None,
+        verify: str = "off",
     ) -> None:
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
         if max_inflight is not None and max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
+        if verify not in VERIFY_MODES:
+            raise ValueError(
+                f"verify must be one of {VERIFY_MODES}, got {verify!r}"
+            )
+        self.verify = verify
         if runner is None:
             engine_cache = ResultCache(
                 directory=Path(cache_dir) if cache_dir is not None else None
@@ -185,6 +207,7 @@ class SolverService:
                 share_orbits=share_orbits,
                 lp_strategy=lp_strategy,
                 lp_chunk_size=lp_chunk_size,
+                verify=verify,
             )
         self.runner = runner
         self.lp_strategy = runner.engine.lp_strategy
@@ -207,6 +230,7 @@ class SolverService:
             "shed": 0,
             "deadline_expired": 0,
             "failed": 0,
+            "verify_failed": 0,
         }
         self._inflight = 0
         self._inflight_cond = threading.Condition()
@@ -353,12 +377,62 @@ class SolverService:
             outcomes.append((payload, time.perf_counter() - start))
         return outcomes
 
+    def _scenario_validator(
+        self, spec: ScenarioSpec
+    ) -> Callable[[str, Any, Optional[str], Any], bool]:
+        """The scheduler ``validate`` hook certifying cached scenario hits.
+
+        A cache hit that fails :func:`certify_scenario_result` is
+        quarantined (``.corrupt`` sidecar on disk, evicted from memory) and
+        rejected — the scheduler then falls through to the normal miss
+        path, so the caller transparently gets a verified re-solve instead
+        of damaged bytes.
+        """
+
+        def validate(
+            key: str, payload: Any, tier: Optional[str], builder: Any
+        ) -> bool:
+            try:
+                certify_scenario_result(spec, payload)
+            except VerificationError as exc:
+                registry = get_registry()
+                registry.counter(
+                    "serve.verify.failed", "scenario certificates rejected"
+                ).inc()
+                registry.counter(
+                    "serve.verify.requeued",
+                    "cached scenario payloads quarantined and re-solved",
+                ).inc()
+                with self._metrics_lock:
+                    self._requests["verify_failed"] += 1
+                self.scenario_cache.quarantine_key(key)
+                warnings.warn(
+                    f"cached scenario payload for {spec.scenario_id} failed "
+                    f"verification and was quarantined: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return False
+            get_registry().counter(
+                "serve.verify.passed", "scenario certificates accepted"
+            ).inc()
+            return True
+
+        return validate
+
+    def _resolve_verify(self, verify: Optional[bool]) -> bool:
+        """Per-request flag beats the service-wide ``verify`` mode."""
+        if verify is None:
+            return self.verify != "off"
+        return bool(verify)
+
     def solve_scenario(
         self,
         spec: ScenarioSpec,
         *,
         debug_trace: bool = False,
         deadline_s: Optional[float] = None,
+        verify: Optional[bool] = None,
     ) -> Dict[str, Any]:
         """Solve one (already validated) scenario; returns the envelope.
 
@@ -366,6 +440,12 @@ class SolverService:
         "result"}`` where ``source`` is ``"cache"``, ``"solved"`` or
         ``"coalesced"`` and ``result`` is the deterministic
         :meth:`~repro.scenarios.runner.ScenarioResult.as_dict` payload.
+        With verification on (``?verify=1``, or by service default when the
+        service was built with ``verify != "off"``) the envelope also
+        carries ``"verify": "passed"`` and the result is backed by a
+        scenario certificate: cached payloads that fail it are quarantined
+        and re-solved, fresh ones that fail raise
+        :class:`ScenarioSolveError`.
 
         Every request runs under a ``serve.request`` span tagged with its
         answer source, and its latency lands in the
@@ -384,15 +464,18 @@ class SolverService:
         :class:`ScenarioSolveError` carrying the scenario id.
         """
         deadline = deadline_s if deadline_s is not None else self.deadline_s
+        do_verify = self._resolve_verify(verify)
         if deadline is None:
-            return self._solve_scenario_inline(spec, debug_trace=debug_trace)
+            return self._solve_scenario_inline(
+                spec, debug_trace=debug_trace, verify=do_verify
+            )
         done = threading.Event()
         box: Dict[str, Any] = {}
 
         def work() -> None:
             try:
                 box["result"] = self._solve_scenario_inline(
-                    spec, debug_trace=debug_trace
+                    spec, debug_trace=debug_trace, verify=do_verify
                 )
             except BaseException as exc:
                 box["error"] = exc
@@ -418,7 +501,11 @@ class SolverService:
         return box["result"]
 
     def _solve_scenario_inline(
-        self, spec: ScenarioSpec, *, debug_trace: bool = False
+        self,
+        spec: ScenarioSpec,
+        *,
+        debug_trace: bool = False,
+        verify: bool = False,
     ) -> Dict[str, Any]:
         """The deadline-free request path behind :meth:`solve_scenario`."""
         with self._metrics_lock:
@@ -436,6 +523,9 @@ class SolverService:
                     kind="serve_scenario",
                     solve=self._solve_specs,
                     details=True,
+                    validate=(
+                        self._scenario_validator(spec) if verify else None
+                    ),
                 )
                 request_span.tag(source=source)
         seconds = time.perf_counter() - start
@@ -450,6 +540,26 @@ class SolverService:
             with self._metrics_lock:
                 self._requests["failed"] += 1
             raise ScenarioSolveError(spec.scenario_id, payload.error)
+        if verify and source != "cache":
+            # Cache hits were certified by the validate hook above; fresh
+            # (or coalesced) payloads get their certificate here.  A fresh
+            # result failing its own certificate is a server bug, not
+            # cache damage: quarantine what was just published and fail
+            # the request loudly instead of serving an unverifiable answer.
+            try:
+                certify_scenario_result(spec, payload)
+            except VerificationError as exc:
+                registry.counter(
+                    "serve.verify.failed", "scenario certificates rejected"
+                ).inc()
+                with self._metrics_lock:
+                    self._requests["verify_failed"] += 1
+                    self._requests["failed"] += 1
+                self.scenario_cache.quarantine_key(key)
+                raise ScenarioSolveError(spec.scenario_id, exc) from None
+            registry.counter(
+                "serve.verify.passed", "scenario certificates accepted"
+            ).inc()
         envelope = {
             "scenario_id": spec.scenario_id,
             "source": source,
@@ -457,6 +567,8 @@ class SolverService:
             "seconds": seconds,
             "result": payload,
         }
+        if verify:
+            envelope["verify"] = "passed"
         if request_tracer is not None:
             envelope["trace"] = {
                 "spans": len(request_tracer),
@@ -470,16 +582,22 @@ class SolverService:
         *,
         debug_trace: bool = False,
         deadline_s: Optional[float] = None,
+        verify: Optional[bool] = None,
     ) -> Dict[str, Any]:
         """``POST /solve`` semantics: parse, validate, solve, envelope."""
         return self.solve_scenario(
             self.parse_scenario(text),
             debug_trace=debug_trace,
             deadline_s=deadline_s,
+            verify=verify,
         )
 
     def iter_suite_json(
-        self, text: str, *, deadline_s: Optional[float] = None
+        self,
+        text: str,
+        *,
+        deadline_s: Optional[float] = None,
+        verify: Optional[bool] = None,
     ) -> Iterator[Dict[str, Any]]:
         """``POST /suite`` semantics: one result record per scenario.
 
@@ -505,7 +623,7 @@ class SolverService:
             for spec in scenarios:
                 try:
                     envelope = self.solve_scenario(
-                        spec, deadline_s=deadline_s
+                        spec, deadline_s=deadline_s, verify=verify
                     )
                 except (ScenarioSolveError, DeadlineExceeded) as exc:
                     counts["failed"] += 1

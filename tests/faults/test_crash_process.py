@@ -1,0 +1,112 @@
+"""Wire format and seam validation of the ``crash-process`` fault kind."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.faults import (
+    KINDS,
+    SEAMS,
+    FaultPlan,
+    FaultSpec,
+    inject,
+    install_plan,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestSpecValidation:
+    def test_kind_and_seams_registered(self):
+        assert "crash-process" in KINDS
+        assert "suite.checkpoint" in SEAMS
+
+    def test_allowed_on_durability_seams(self):
+        for seam in ("cache.disk.write", "suite.checkpoint"):
+            spec = FaultSpec(seam=seam, kind="crash-process", every=1)
+            assert spec.kind == "crash-process"
+
+    def test_rejected_on_non_durability_seams(self):
+        for seam in ("lp.highs.call", "cache.disk.read", "serve.request",
+                     "engine.worker"):
+            with pytest.raises(ValueError, match="crash-process"):
+                FaultSpec(seam=seam, kind="crash-process", every=1)
+
+
+class TestWireFormat:
+    def test_round_trip(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    seam="suite.checkpoint",
+                    kind="crash-process",
+                    every=2,
+                    max_injections=1,
+                ),
+                FaultSpec(
+                    seam="cache.disk.write", kind="crash-process", every=3
+                ),
+            ],
+            seed=11,
+            name="chaos-kill",
+        )
+        again = FaultPlan.from_json(json.dumps(plan.to_dict()))
+        assert again.to_dict() == plan.to_dict()
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = FaultPlan(
+            [FaultSpec(seam="cache.disk.write", kind="crash-process", every=1)]
+        )
+        path.write_text(json.dumps(plan.to_dict()))
+        loaded = FaultPlan.load(path)
+        assert loaded.name == "plan"  # defaulted from the file stem
+        assert loaded.specs[0].to_dict() == plan.specs[0].to_dict()
+
+
+class TestInjection:
+    def test_inject_returns_fault_without_raising(self):
+        # Unlike "raise", a crash-process fault must be *returned* to the
+        # call site (which decides where in the write path to die), never
+        # thrown from inject().
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    seam="suite.checkpoint",
+                    kind="crash-process",
+                    every=1,
+                    max_injections=1,
+                )
+            ]
+        )
+        with install_plan(plan):
+            fault = inject("suite.checkpoint")
+            assert fault is not None
+            assert fault.kind == "crash-process"
+            assert inject("suite.checkpoint") is None  # max_injections spent
+
+    def test_other_seams_unaffected(self):
+        plan = FaultPlan(
+            [FaultSpec(seam="cache.disk.write", kind="crash-process", every=1)]
+        )
+        with install_plan(plan):
+            assert inject("lp.highs.call") is None
+            assert inject("suite.checkpoint") is None
+
+
+class TestCompatibility:
+    def test_ci_fault_plan_still_parses(self):
+        path = REPO / "benchmarks" / "fault_plan_ci.json"
+        plan = FaultPlan.load(path)
+        assert plan.specs, "the committed CI fault plan went empty"
+        assert all(spec.kind != "crash-process" for spec in plan.specs), (
+            "the CI resilience plan must stay SIGKILL-free; chaos kill "
+            "plans live in tests/recovery"
+        )
+        # Round-trips byte-identically through the extended wire format.
+        assert FaultPlan.from_json(
+            json.dumps(plan.to_dict())
+        ).to_dict() == plan.to_dict()

@@ -300,5 +300,6 @@ def test_seams_and_kinds_are_stable_public_names():
         "cache.disk.write",
         "engine.worker",
         "serve.request",
+        "suite.checkpoint",
     )
-    assert KINDS == ("raise", "latency", "corrupt", "crash")
+    assert KINDS == ("raise", "latency", "corrupt", "crash", "crash-process")

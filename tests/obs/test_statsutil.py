@@ -24,6 +24,9 @@ class TestAsDict:
             "pool_fallbacks",
             "pool_respawns",
             "unit_failures",
+            "verify_passed",
+            "verify_failed",
+            "verify_requeued",
         ]
         assert stats.as_dict() == stats_as_dict(stats)
 

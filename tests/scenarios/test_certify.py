@@ -1,0 +1,109 @@
+"""Scenario certificates: every field is tied down by some identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import VerificationError
+from repro.scenarios import (
+    ScenarioSpec,
+    SuiteRunner,
+    certify_scenario_result,
+)
+
+SPEC = ScenarioSpec(
+    family="cycle", params={"n": 8}, radii=(1, 2), backend="scipy"
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    (result,) = list(SuiteRunner().run([SPEC]))
+    return result.as_dict()
+
+
+def certify(payload):
+    return certify_scenario_result(SPEC, payload)
+
+
+class TestAccepts:
+    def test_clean_payload_passes(self, payload):
+        outcome = certify(payload)
+        assert outcome["checks"] >= 10
+
+    def test_json_round_trip_passes(self, payload):
+        import json
+
+        certify(json.loads(json.dumps(payload)))
+
+
+class TestRejects:
+    def test_not_a_mapping(self):
+        with pytest.raises(VerificationError, match="not a mapping"):
+            certify(None)
+
+    def test_missing_field(self, payload):
+        damaged = dict(payload)
+        damaged.pop("optimum")
+        with pytest.raises(VerificationError, match="missing fields"):
+            certify(damaged)
+
+    def test_wrong_scenario_id(self, payload):
+        damaged = dict(payload, scenario_id="0" * 64)
+        with pytest.raises(VerificationError, match="scenario_id"):
+            certify(damaged)
+
+    def test_embedded_spec_swap(self, payload):
+        other = ScenarioSpec(
+            family="cycle", params={"n": 10}, radii=(1, 2), backend="scipy"
+        )
+        damaged = dict(payload, spec=other.to_dict())
+        with pytest.raises(VerificationError, match="different scenario"):
+            certify(damaged)
+
+    @pytest.mark.parametrize(
+        "field, bump, match",
+        [
+            ("optimum", 0.25, "ratio"),
+            ("safe_objective", 0.25, "safe_objective"),
+            ("safe_ratio", 0.25, "safe_ratio"),
+            ("safe_guarantee", 1.0, "safe_guarantee"),
+            ("n_agents", 1, "shape"),
+        ],
+    )
+    def test_single_field_perturbation_detected(
+        self, payload, field, bump, match
+    ):
+        damaged = dict(payload)
+        damaged[field] = damaged[field] + bump
+        with pytest.raises(VerificationError, match=match):
+            certify(damaged)
+
+    def test_radius_objective_perturbation_detected(self, payload):
+        damaged = dict(payload)
+        radii = [dict(entry) for entry in damaged["radii"]]
+        radii[0]["objective"] = radii[0]["objective"] + 0.25
+        damaged["radii"] = radii
+        with pytest.raises(VerificationError):
+            certify(damaged)
+
+    def test_radius_list_truncation_detected(self, payload):
+        damaged = dict(payload, radii=list(payload["radii"])[:1])
+        with pytest.raises(VerificationError, match="radii"):
+            certify(damaged)
+
+    def test_nonfinite_optimum_detected(self, payload):
+        damaged = dict(payload, optimum=float("nan"))
+        with pytest.raises(VerificationError, match="finite"):
+            certify(damaged)
+
+    def test_theorem_bound_enforced(self, payload):
+        # An optimum above Δ_I^V · safe would contradict the paper's
+        # Theorem -- the certificate treats that as corruption.
+        damaged = dict(
+            payload,
+            optimum=payload["safe_guarantee"] * payload["safe_objective"]
+            * 10.0,
+        )
+        with pytest.raises(VerificationError):
+            certify(damaged)

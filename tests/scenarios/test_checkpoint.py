@@ -1,0 +1,195 @@
+"""Checkpoint journal durability and exact suite resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    CheckpointJournal,
+    ScenarioSpec,
+    SuiteRunner,
+    canonical_report,
+)
+from repro.scenarios.runner import ScenarioResult
+
+
+def specs():
+    return [
+        ScenarioSpec(
+            family="cycle", params={"n": 8 + 2 * i}, radii=(1, 2),
+            backend="scipy",
+        )
+        for i in range(3)
+    ]
+
+
+def run_results(scenario_specs):
+    return list(SuiteRunner().run(scenario_specs))
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_results(specs())
+
+
+class TestJournal:
+    def test_round_trip(self, tmp_path, results):
+        journal = CheckpointJournal(tmp_path / "ck.ndjson")
+        for result in results:
+            journal.append(result.as_dict())
+        load = CheckpointJournal.load(journal.path)
+        assert load.lines_ok == 3
+        assert load.lines_skipped == 0
+        assert not load.torn_tail
+        assert set(load.completed) == {r.scenario_id for r in results}
+        restored = load.completed[results[0].scenario_id]
+        assert restored == results[0].as_dict()
+
+    def test_missing_file_is_empty(self, tmp_path):
+        load = CheckpointJournal.load(tmp_path / "nope.ndjson")
+        assert load.completed == {}
+        assert not load.torn_tail
+
+    def test_torn_tail_tolerated(self, tmp_path, results):
+        journal = CheckpointJournal(tmp_path / "ck.ndjson")
+        for result in results[:2]:
+            journal.append(result.as_dict())
+        text = journal.path.read_text()
+        lines = text.splitlines(keepends=True)
+        # Simulate a crash mid-append: half a third line, no newline.
+        journal.path.write_text(text + lines[0][: len(lines[0]) // 2])
+
+        load = CheckpointJournal.load(journal.path)
+        assert load.lines_ok == 2
+        assert load.torn_tail
+        assert load.lines_skipped == 0, "a torn tail is not interior damage"
+
+    def test_damaged_interior_line_skipped(self, tmp_path, results):
+        journal = CheckpointJournal(tmp_path / "ck.ndjson")
+        for result in results:
+            journal.append(result.as_dict())
+        lines = journal.path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # torn *interior* line
+        journal.path.write_text("\n".join(lines) + "\n")
+
+        load = CheckpointJournal.load(journal.path)
+        assert load.lines_ok == 2
+        assert load.lines_skipped == 1
+        assert not load.torn_tail
+        assert results[1].scenario_id not in load.completed
+
+    def test_digest_tamper_detected(self, tmp_path, results):
+        journal = CheckpointJournal(tmp_path / "ck.ndjson")
+        journal.append(results[0].as_dict())
+        record = json.loads(journal.path.read_text())
+        record["result"]["optimum"] = record["result"]["optimum"] + 1.0
+        journal.path.write_text(json.dumps(record, sort_keys=True) + "\n")
+
+        load = CheckpointJournal.load(journal.path)
+        assert load.lines_ok == 0
+        assert load.lines_skipped == 1
+        assert load.completed == {}
+
+    def test_wrong_version_skipped(self, tmp_path, results):
+        journal = CheckpointJournal(tmp_path / "ck.ndjson")
+        journal.append(results[0].as_dict())
+        record = json.loads(journal.path.read_text())
+        record["v"] = 99
+        journal.path.write_text(json.dumps(record, sort_keys=True) + "\n")
+        assert CheckpointJournal.load(journal.path).lines_skipped == 1
+
+    def test_fresh_truncates(self, tmp_path, results):
+        path = tmp_path / "ck.ndjson"
+        CheckpointJournal(path).append(results[0].as_dict())
+        CheckpointJournal(path, fresh=True)
+        assert not path.exists()
+
+    def test_last_append_wins_on_duplicate(self, tmp_path, results):
+        journal = CheckpointJournal(tmp_path / "ck.ndjson")
+        first = results[0].as_dict()
+        journal.append(first)
+        altered = dict(first)
+        altered["seconds"] = 123.0
+        journal.append(altered)
+        load = CheckpointJournal.load(journal.path)
+        assert load.lines_ok == 2
+        assert load.completed[first["scenario_id"]]["seconds"] == 123.0
+
+
+class TestScenarioResultRoundTrip:
+    def test_from_dict_round_trip(self, results):
+        for result in results:
+            restored = ScenarioResult.from_dict(result.as_dict())
+            assert restored.as_dict() == result.as_dict()
+            assert restored.spec.scenario_id == result.scenario_id
+
+
+class TestCanonicalReport:
+    def test_strips_volatile_fields(self, results):
+        report = SuiteRunner().run_suite(specs()).as_dict()
+        canon = canonical_report(report)
+        assert "seconds" not in canon
+        assert "engine_stats" not in canon
+        assert "cache_stats" not in canon
+        assert all("seconds" not in row for row in canon["results"])
+        assert len(canon["results"]) == 3
+        # Deterministic fields survive untouched.
+        assert canon["results"][0]["optimum"] == report["results"][0]["optimum"]
+
+    def test_two_fresh_runs_are_canonically_identical(self):
+        a = canonical_report(SuiteRunner().run_suite(specs()).as_dict())
+        b = canonical_report(SuiteRunner().run_suite(specs()).as_dict())
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestRunSuiteCheckpoint:
+    def test_checkpoint_written(self, tmp_path):
+        path = tmp_path / "ck.ndjson"
+        report = SuiteRunner().run_suite(specs(), checkpoint=path)
+        assert report.restored == 0
+        assert CheckpointJournal.load(path).lines_ok == 3
+
+    def test_resume_skips_completed_exactly(self, tmp_path):
+        path = tmp_path / "ck.ndjson"
+        full = SuiteRunner().run_suite(specs(), checkpoint=path)
+
+        # Drop the final journal line: scenario 3 "never completed".
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:2]))
+
+        runner = SuiteRunner()
+        report = runner.run_suite(specs(), checkpoint=path, resume=True)
+        assert report.restored == 2
+        assert runner.engine.stats.executed > 0, "missing scenario re-solved"
+        assert canonical_report(report.as_dict()) == canonical_report(
+            full.as_dict()
+        )
+        # The journal was healed: all three scenarios durable again.
+        assert CheckpointJournal.load(path).lines_ok == 3
+
+    def test_resume_with_complete_journal_does_zero_work(self, tmp_path):
+        path = tmp_path / "ck.ndjson"
+        full = SuiteRunner().run_suite(specs(), checkpoint=path)
+
+        runner = SuiteRunner()
+        report = runner.run_suite(specs(), checkpoint=path, resume=True)
+        assert report.restored == 3
+        assert runner.engine.stats.executed == 0
+        assert runner.engine.stats.units == 0, "restore must bypass the engine"
+        assert canonical_report(report.as_dict()) == canonical_report(
+            full.as_dict()
+        )
+
+    def test_no_resume_truncates_existing_journal(self, tmp_path):
+        path = tmp_path / "ck.ndjson"
+        SuiteRunner().run_suite(specs(), checkpoint=path)
+        runner = SuiteRunner()
+        report = runner.run_suite(specs(), checkpoint=path)
+        assert report.restored == 0
+        assert runner.engine.stats.executed > 0
+
+    def test_resume_requires_checkpoint(self):
+        with pytest.raises(ValueError, match="resume"):
+            SuiteRunner().run_suite(specs(), resume=True)
